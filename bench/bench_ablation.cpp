@@ -1,0 +1,214 @@
+// Ablation study of LLMPrism's design choices (DESIGN.md §4):
+//  A. BOCD step division vs. a fixed-threshold divider, across noise levels
+//     (timeline reconstruction quality).
+//  B. DP-transitivity refinement on/off as collection degradation grows
+//     (generalizes Table I's two rows).
+//  C. Alg. 2's per-step distinct-size mode vs. naive whole-window and
+//     volume-threshold classifiers under noise.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "llmprism/baseline/eval.hpp"
+#include "llmprism/baseline/naive_classifier.hpp"
+#include "llmprism/baseline/step_divider.hpp"
+#include "llmprism/collector/collector.hpp"
+#include "llmprism/collector/packetize.hpp"
+#include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/timeline.hpp"
+
+using namespace llmprism;
+using namespace llmprism::bench;
+
+namespace {
+
+ClusterSimResult simulate(double degraded_fraction, double partial_records,
+                          DurationNs time_jitter, std::uint64_t seed,
+                          bool zero_overlap = false) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 16, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  cfg.seed = seed;
+  JobSimConfig job;
+  job.parallelism = {.tp = 8, .dp = 8, .pp = 2, .micro_batches = 4};
+  job.num_steps = 40;
+  job.dp_rounds_per_bucket = 8;
+  job.zero_overlap = zero_overlap;
+  cfg.jobs.push_back({job, {}});
+  cfg.noise.degraded_pair_fraction = degraded_fraction;
+  cfg.noise.partial_record_rate = partial_records;
+  cfg.noise.size_jitter_rate = 1.0;
+  cfg.noise.size_jitter_frac = 0.02;  // collector size quantization, always on
+  cfg.noise.time_jitter = time_jitter;
+  return run_cluster_sim(cfg);
+}
+
+/// Timeline reconstruction where step division is done by the baseline
+/// threshold divider instead of BOCD (same downstream logic).
+TimelineScore threshold_timeline_score(const ClusterSimResult& sim,
+                                       double factor) {
+  const auto comm = CommTypeIdentifier{}.identify(sim.trace);
+  const auto types = comm.types();
+  // Build per-GPU DP timestamp streams.
+  std::unordered_map<GpuId, std::vector<TimeNs>> dp_starts;
+  std::unordered_map<GpuId, std::vector<TimeNs>> dp_ends;
+  for (const FlowRecord& f : sim.trace) {
+    const auto it = types.find(f.pair());
+    if (it == types.end() || it->second != CommType::kDP) continue;
+    for (const GpuId g : {f.src, f.dst}) {
+      dp_starts[g].push_back(f.start_time);
+      dp_ends[g].push_back(f.end_time());
+    }
+  }
+  std::vector<GpuTimeline> timelines;
+  for (auto& [gpu, starts] : dp_starts) {
+    auto& ends = dp_ends[gpu];
+    GpuTimeline t;
+    t.gpu = gpu;
+    const auto seg = segment_by_threshold(starts, {.factor = factor});
+    for (std::size_t s = 0; s < seg.size(); ++s) {
+      const std::size_t hi =
+          s + 1 < seg.size() ? seg[s + 1] : starts.size();
+      ReconstructedStep step;
+      step.index = s;
+      step.dp_begin = starts[seg[s]];
+      step.dp_end = step.dp_begin;
+      for (std::size_t i = seg[s]; i < hi; ++i) {
+        step.dp_end = std::max(step.dp_end, ends[i]);
+      }
+      step.begin = s == 0 ? step.dp_begin : t.steps.back().end;
+      step.end = step.dp_end;
+      t.steps.push_back(step);
+    }
+    timelines.push_back(std::move(t));
+  }
+  return score_timelines(std::span(timelines), sim.jobs[0]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A: step division — BOCD vs fixed threshold ===\n");
+  std::printf(
+      "(the threshold "
+      "divider's factor must be tuned\n per workload, BOCD self-calibrates)"
+      "\n\n");
+  std::printf(
+      "  (each cell: boundary recall %% / spurious boundaries / duration "
+      "error %%)\n");
+  std::printf(
+      "  workload                | BOCD                | threshold x3       "
+      " | threshold x10       | threshold x100\n");
+  struct Workload {
+    const char* name;
+    DurationNs jitter;
+    bool zero_overlap;
+  };
+  for (const Workload w :
+       {Workload{"clean                  ", 0, false},
+        Workload{"4 ms collection jitter ", 4 * kMillisecond, false},
+        Workload{"ZeRO overlap           ", 0, true},
+        Workload{"ZeRO + 4 ms jitter     ", 4 * kMillisecond, true}}) {
+    const auto sim = simulate(0.0, 0.0, w.jitter, 99, w.zero_overlap);
+    const auto comm = CommTypeIdentifier{}.identify(sim.trace);
+    const auto timelines =
+        TimelineReconstructor{}.reconstruct_all(sim.trace, comm.types());
+    const auto bocd_score = score_timelines(std::span(timelines), sim.jobs[0]);
+    std::printf("  %s | %5.1f%% / %4zu / %5.3f%%", w.name,
+                100 * bocd_score.matched_fraction(),
+                bocd_score.spurious_steps(),
+                100 * bocd_score.mean_duration_error);
+    for (const double factor : {3.0, 10.0, 100.0}) {
+      const auto th = threshold_timeline_score(sim, factor);
+      std::printf(" | %5.1f%% / %4zu / %5.3f%%", 100 * th.matched_fraction(),
+                  th.spurious_steps(), 100 * th.mean_duration_error);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  std::printf(
+      "=== Ablation B: refinement on/off vs collection degradation ===\n\n");
+  std::printf("  degraded pairs | w/o refinement | with refinement\n");
+  for (const double fraction : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    const auto sim = simulate(fraction, 0.0, 0, 123);
+    const auto result = CommTypeIdentifier{}.identify(sim.trace);
+    const auto without =
+        score_comm_type(std::span(result.pairs), sim.jobs[0], true);
+    const auto with =
+        score_comm_type(std::span(result.pairs), sim.jobs[0], false);
+    std::printf("  %13.0f%% | %13.2f%% | %14.2f%%\n", 100 * fraction,
+                100 * without.accuracy(), 100 * with.accuracy());
+  }
+  std::printf("\n");
+
+  std::printf(
+      "=== Ablation C: Alg. 2 vs naive classifiers (degradation + partial "
+      "flow records) ===\n\n");
+  std::printf(
+      "  scenario              | Alg. 2   | global-sizes | volume-threshold\n");
+  struct Scenario {
+    const char* name;
+    double degraded;
+    double partial;
+  };
+  for (const Scenario sc : {Scenario{"clean                ", 0.0, 0.0},
+                            Scenario{"20% degraded         ", 0.2, 0.0},
+                            Scenario{"1% partial records   ", 0.0, 0.01},
+                            Scenario{"degraded + partial   ", 0.2, 0.01}}) {
+    const auto sim = simulate(sc.degraded, sc.partial, 0, 321);
+    const auto alg2 = CommTypeIdentifier{}.identify(sim.trace);
+    const auto alg2_score =
+        score_comm_type(std::span(alg2.pairs), sim.jobs[0]);
+    const auto global_score = score_comm_type_map(
+        classify_by_global_distinct_sizes(sim.trace), sim.jobs[0]);
+    const auto volume_score = score_comm_type_map(
+        classify_by_volume_threshold(sim.trace), sim.jobs[0]);
+    std::printf("  %s | %7.2f%% | %11.2f%% | %15.2f%%\n", sc.name,
+                100 * alg2_score.accuracy(), 100 * global_score.accuracy(),
+                100 * volume_score.accuracy());
+  }
+  std::printf(
+      "(volume threshold depends on tenant message sizes; one partially "
+      "recorded flow anywhere in the window\n flips a pair under the naive "
+      "global-sizes rule, while the per-step mode absorbs it)\n\n");
+
+  std::printf(
+      "=== Ablation D: collector idle timeout vs the DP multi-size "
+      "signature ===\n");
+  std::printf(
+      "(flows -> packets -> collector with varying idle timeout -> Alg. 2; "
+      "a burst-coarse timeout merges\n a step's DP buckets into one record "
+      "and the DP signature degrades)\n\n");
+  std::printf("  idle timeout | records | Alg. 2 accuracy | DP pairs kept\n");
+  {
+    const auto sim = simulate(0.0, 0.0, 0, 77);
+    Rng rng(7070);
+    const auto packets = packetize(sim.trace, {}, rng);
+    std::size_t true_dp = 0;
+    for (const auto& [pair, type] : sim.jobs[0].pair_types) {
+      true_dp += type == CommType::kDP;
+    }
+    for (const DurationNs idle :
+         {200 * kMicrosecond, 500 * kMicrosecond, 2 * kMillisecond,
+          5 * kMillisecond, 20 * kMillisecond, 100 * kMillisecond}) {
+      CollectorConfig cc;
+      cc.idle_timeout = idle;
+      cc.active_timeout = kSecond;
+      Rng collector_rng(idle % 1000 + 1);
+      const auto records =
+          collect_flows(packets, sim.topology, cc, collector_rng);
+      const auto result = CommTypeIdentifier{}.identify(records);
+      const auto score = score_comm_type(std::span(result.pairs), sim.jobs[0]);
+      std::size_t dp_kept = 0;
+      for (const auto& p : result.pairs) dp_kept += p.type == CommType::kDP;
+      std::printf("  %9.1f ms | %7zu | %14.2f%% | %zu / %zu\n",
+                  to_milliseconds(idle), records.size(),
+                  100 * score.accuracy(), dp_kept, true_dp);
+    }
+  }
+  std::printf(
+      "(the paper's deployment therefore needs a collector cutting records "
+      "finer than the inter-collective gap)\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks backing the paper's "lightweight / near-zero overhead"
+// claim (§I, §VI): LLMPrism runs out-of-band on mirrored flows, so the only
+// cost that matters is the analysis side's throughput — measured here with
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "llmprism/bocd/bocd.hpp"
+#include "llmprism/common/disjoint_set.hpp"
+#include "llmprism/common/rng.hpp"
+#include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/job_recognition.hpp"
+#include "llmprism/core/prism.hpp"
+#include "llmprism/core/timeline.hpp"
+#include "llmprism/simulator/cluster_sim.hpp"
+
+namespace llmprism {
+namespace {
+
+ClusterSimResult& shared_cluster() {
+  static ClusterSimResult result = [] {
+    ClusterSimConfig cfg;
+    cfg.topology = {.num_machines = 16, .gpus_per_machine = 8,
+                    .machines_per_leaf = 4, .num_spines = 2};
+    cfg.seed = 77;
+    JobSimConfig job;
+    job.parallelism = {.tp = 8, .dp = 8, .pp = 2, .micro_batches = 4};
+    job.num_steps = 20;
+    cfg.jobs.push_back({job, {}});
+    return run_cluster_sim(cfg);
+  }();
+  return result;
+}
+
+void BM_BocdObserve(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) xs.push_back(rng.normal(5.0, 0.2));
+  BocdDetector detector;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.observe(xs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BocdObserve);
+
+void BM_SegmentByGaps(benchmark::State& state) {
+  // 50 bursts of 16 flows: the per-pair step-division workload.
+  Rng rng(2);
+  std::vector<TimeNs> ts;
+  TimeNs t = 0;
+  for (int b = 0; b < 50; ++b) {
+    for (int f = 0; f < 16; ++f) {
+      ts.push_back(t);
+      t += kMillisecond + static_cast<TimeNs>(rng.uniform(0, 2e5));
+    }
+    t += 2 * kSecond;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segment_by_gaps(ts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * ts.size()));
+}
+BENCHMARK(BM_SegmentByGaps);
+
+void BM_JobRecognition(benchmark::State& state) {
+  const auto& sim = shared_cluster();
+  const JobRecognizer recognizer(sim.topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recognizer.recognize(sim.trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+  state.counters["flows"] = static_cast<double>(sim.trace.size());
+}
+BENCHMARK(BM_JobRecognition);
+
+void BM_CommTypeIdentify(benchmark::State& state) {
+  const auto& sim = shared_cluster();
+  const CommTypeIdentifier identifier;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identifier.identify(sim.trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+}
+BENCHMARK(BM_CommTypeIdentify);
+
+void BM_TimelineReconstructAll(benchmark::State& state) {
+  const auto& sim = shared_cluster();
+  const auto types = CommTypeIdentifier{}.identify(sim.trace).types();
+  const TimelineReconstructor reconstructor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reconstructor.reconstruct_all(sim.trace, types));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+}
+BENCHMARK(BM_TimelineReconstructAll);
+
+void BM_PrismEndToEnd(benchmark::State& state) {
+  const auto& sim = shared_cluster();
+  const Prism prism(sim.topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prism.analyze(sim.trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+  state.counters["flows"] = static_cast<double>(sim.trace.size());
+}
+BENCHMARK(BM_PrismEndToEnd);
+
+void BM_DisjointSetUnite(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.emplace_back(
+        static_cast<std::size_t>(rng.uniform_int(0, 9999)),
+        static_cast<std::size_t>(rng.uniform_int(0, 9999)));
+  }
+  for (auto _ : state) {
+    DisjointSet ds(10000);
+    for (const auto& [a, b] : edges) ds.unite(a, b);
+    benchmark::DoNotOptimize(ds.num_sets());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DisjointSetUnite)->Arg(100000);
+
+}  // namespace
+}  // namespace llmprism
+
+BENCHMARK_MAIN();

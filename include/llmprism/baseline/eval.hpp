@@ -1,0 +1,95 @@
+// Evaluation scorers: compare LLMPrism's outputs against simulator ground
+// truth. These compute the paper's metrics:
+//  * §V-A — job recognition: jobs found vs. true jobs (exact GPU-set match),
+//  * §V-B / Table I — parallelism identification accuracy: correctly
+//    classified pairs / total pairs,
+//  * §V-C — timeline reconstruction error: relative step-duration error
+//    against the oracle (profiler-equivalent) boundaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/common/comm_type.hpp"
+#include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/job_recognition.hpp"
+#include "llmprism/core/timeline.hpp"
+#include "llmprism/simulator/cluster_sim.hpp"
+
+namespace llmprism {
+
+struct JobRecognitionScore {
+  std::size_t true_jobs = 0;        ///< network-visible true jobs
+  std::size_t recognized_jobs = 0;
+  std::size_t exact_matches = 0;    ///< recognized GPU set == true GPU set
+  std::size_t merged_or_split = 0;  ///< recognized jobs with no exact match
+
+  [[nodiscard]] bool perfect() const {
+    return exact_matches == true_jobs && recognized_jobs == true_jobs;
+  }
+};
+
+/// Match recognized jobs to true jobs by exact GPU-set equality.
+[[nodiscard]] JobRecognitionScore score_job_recognition(
+    const JobRecognitionResult& result, std::span<const JobTruth> truth);
+
+struct CommTypeScore {
+  std::size_t total_pairs = 0;      ///< truth pairs that appear in the result
+  std::size_t correct = 0;
+  std::size_t dp_as_pp = 0;         ///< truth DP classified PP
+  std::size_t pp_as_dp = 0;         ///< truth PP classified DP
+  std::size_t missing_pairs = 0;    ///< truth pairs absent from the result
+
+  [[nodiscard]] double accuracy() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+/// Score pair classifications against a job's true pair types.
+/// With `use_pre_refinement`, scores the pre-refinement labels — the
+/// "LLMPrism w/o refinement" row of Table I.
+[[nodiscard]] CommTypeScore score_comm_type(
+    std::span<const PairClassification> pairs, const JobTruth& truth,
+    bool use_pre_refinement = false);
+
+struct TimelineScore {
+  std::size_t ranks_scored = 0;
+  std::size_t steps_matched = 0;       ///< reconstructed steps matched to truth
+  std::size_t steps_true_total = 0;    ///< scoreable truth steps
+  std::size_t steps_reconstructed_total = 0;  ///< all reconstructed steps
+  double mean_duration_error = 0.0;    ///< mean relative step-duration error
+  double max_duration_error = 0.0;
+  double mean_boundary_offset_s = 0.0; ///< |reconstructed - true| boundary gap
+
+  /// Recall: truth boundaries recovered.
+  [[nodiscard]] double matched_fraction() const {
+    return steps_true_total == 0
+               ? 0.0
+               : static_cast<double>(steps_matched) /
+                     static_cast<double>(steps_true_total);
+  }
+  /// Reconstructed steps with no matching truth boundary (over-segmentation).
+  [[nodiscard]] std::size_t spurious_steps() const {
+    return steps_reconstructed_total >= steps_matched
+               ? steps_reconstructed_total - steps_matched
+               : 0;
+  }
+};
+
+/// Score reconstructed timelines against per-rank true DP-burst boundaries.
+/// For each rank, every truth boundary (its DP group's per-step dp_end) is
+/// matched to the nearest reconstructed step end; relative duration error
+/// is computed between consecutive matched boundaries.
+[[nodiscard]] TimelineScore score_timelines(
+    std::span<const GpuTimeline> timelines, const JobTruth& truth);
+
+/// Generic pair-map scorer for the ablation baselines.
+[[nodiscard]] CommTypeScore score_comm_type_map(
+    const std::unordered_map<GpuPair, CommType>& types, const JobTruth& truth);
+
+}  // namespace llmprism

@@ -1,0 +1,25 @@
+// Ablation baseline for step division: a fixed multiplicative threshold on
+// inter-flow intervals instead of BOCD. Simple, but requires a hand-tuned
+// factor and fails when the within-step interval distribution is wide —
+// the comparison bench_ablation quantifies this against BOCD.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+struct ThresholdDividerConfig {
+  /// Boundary when an interval exceeds factor * median(intervals).
+  double factor = 10.0;
+};
+
+/// Same contract as segment_by_gaps(): indices of the first element of each
+/// segment (always including 0). Throws on unsorted input.
+[[nodiscard]] std::vector<std::size_t> segment_by_threshold(
+    std::span<const TimeNs> timestamps, const ThresholdDividerConfig& config = {});
+
+}  // namespace llmprism

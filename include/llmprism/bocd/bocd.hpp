@@ -1,0 +1,143 @@
+// Bayesian Online Changepoint Detection (Adams & MacKay, 2007).
+//
+// The paper (§IV-B) divides a pair's flow sequence into training steps by
+// running BOCD over the inter-flow interval sequence: intervals within a
+// step are short and stable, the gap between steps is a gross outlier, so
+// the run-length posterior collapses to r = 0 at step boundaries. A
+// changepoint is reported when P(r_t = 0) exceeds a threshold (0.95 in the
+// paper and by default here).
+//
+// Observation model: Normal with unknown mean and variance under a
+// Normal-Inverse-Gamma conjugate prior, giving a Student-t posterior
+// predictive. The run-length distribution is pruned below a mass floor, so
+// each observation costs O(active run lengths) — linear time overall.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+struct BocdConfig {
+  /// Expected run length between changepoints; hazard H = 1/lambda.
+  double hazard_lambda = 64.0;
+  /// Report a changepoint when the recent-run mass P(r_t <= recent_run_cap)
+  /// exceeds this (paper: 0.95 on P(r_t = 0)).
+  double changepoint_threshold = 0.95;
+
+  /// Run lengths counted as "a changepoint just occurred". With the
+  /// boundary observation excluded from the new run (see observe()), the
+  /// hypotheses "changepoint at t" (r = 0), "changepoint at t-1 with x_t
+  /// opening the new run" (r = 1), and so on genuinely compete and split
+  /// the posterior mass; summing r <= cap recovers the paper's detection
+  /// semantics with a robust margin.
+  std::size_t recent_run_cap = 2;
+
+  // Normal-Inverse-Gamma prior on (mean, variance) of the observations.
+  double prior_mean = 0.0;
+  double prior_kappa = 0.5;   ///< pseudo-observations for the mean
+  double prior_alpha = 1.0;   ///< shape of the variance prior
+  double prior_beta = 1.0;    ///< scale of the variance prior
+
+  /// Run-length hypotheses with posterior mass below this are dropped.
+  double prune_mass = 1e-8;
+  /// Keep at most this many run-length hypotheses (the most probable ones;
+  /// the run-length-0 hypothesis is always kept). On high-variance streams
+  /// the posterior tail decays only like (1-hazard)^age, so a mass floor
+  /// alone can leave hundreds of live components — this cap bounds the
+  /// per-observation cost with no measurable effect on detection.
+  std::size_t max_components = 64;
+  /// Hard cap on tracked run lengths (bounds memory on pathological input).
+  std::size_t max_run_length = 1u << 20;
+};
+
+/// Online BOCD detector. Feed observations one at a time with observe();
+/// each call returns P(r_t = 0), the posterior probability that a
+/// changepoint occurred at the current observation.
+class BocdDetector {
+ public:
+  explicit BocdDetector(BocdConfig config = {});
+
+  /// Process one observation; returns P(r_t = 0 | x_1..t).
+  double observe(double x);
+
+  /// Whether the most recent observation crossed the changepoint threshold.
+  /// The first few observations never flag (a stream start is not a
+  /// changepoint).
+  [[nodiscard]] bool last_was_changepoint() const {
+    return t_ > config_.recent_run_cap + 1 &&
+           last_recent_probability_ > config_.changepoint_threshold;
+  }
+  /// P(r_t = 0 | x_1..t) after the last observation.
+  [[nodiscard]] double last_cp_probability() const {
+    return last_cp_probability_;
+  }
+  /// P(r_t <= recent_run_cap | x_1..t) after the last observation.
+  [[nodiscard]] double last_recent_probability() const {
+    return last_recent_probability_;
+  }
+
+  /// Maximum a-posteriori run length after the last observation.
+  [[nodiscard]] std::size_t map_run_length() const;
+
+  [[nodiscard]] std::size_t observations_seen() const { return t_; }
+
+  void reset();
+
+ private:
+  struct RunComponent {
+    std::size_t run_length = 0;
+    double probability = 0.0;
+    // Normal-Inverse-Gamma posterior parameters for this run hypothesis.
+    double mean = 0.0;
+    double kappa = 0.0;
+    double alpha = 0.0;
+    double beta = 0.0;
+  };
+
+  [[nodiscard]] double log_predictive(const RunComponent& c, double x) const;
+
+  BocdConfig config_;
+  std::vector<RunComponent> components_;
+  double last_cp_probability_ = 0.0;
+  double last_recent_probability_ = 0.0;
+  std::size_t t_ = 0;
+};
+
+/// Batch convenience: indices i (into `xs`) where P(r_i = 0) crossed the
+/// threshold.
+[[nodiscard]] std::vector<std::size_t> detect_changepoints(
+    std::span<const double> xs, const BocdConfig& config = {});
+
+struct SegmenterConfig {
+  BocdConfig bocd;
+  /// Timestamps closer than this are coalesced into one arrival before the
+  /// interval sequence is formed. Collectives launch several flows nearly
+  /// simultaneously (ring directions, channels); without coalescing those
+  /// near-zero intervals make the interval distribution bimodal and inflate
+  /// the learned variance, masking the step gap.
+  DurationNs coalesce_gap = 200 * kMicrosecond;
+
+  /// A BOCD-flagged boundary is accepted only if the flagged interval also
+  /// exceeds gap_guard_factor x the median interval. Right after a real
+  /// boundary the run-length posterior is legitimately "young" for a couple
+  /// of observations; the guard rejects those small-interval flags without
+  /// touching genuine step gaps (which are orders of magnitude above the
+  /// median).
+  double gap_guard_factor = 3.0;
+};
+
+/// Segment a sorted timestamp sequence at "large gap" boundaries.
+///
+/// Coalesces near-simultaneous arrivals, computes inter-arrival intervals,
+/// log-transforms them (making the short intra-step intervals approximately
+/// Gaussian and a step gap a gross outlier), runs BOCD, and returns the
+/// indices (into the ORIGINAL sequence) of the first element of each
+/// segment (always including 0).
+[[nodiscard]] std::vector<std::size_t> segment_by_gaps(
+    std::span<const TimeNs> timestamps, const SegmenterConfig& config = {});
+
+}  // namespace llmprism

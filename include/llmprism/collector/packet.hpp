@@ -1,0 +1,42 @@
+// Packet-level model of the mirrored traffic and its records.
+//
+// Production ERSPAN deployments mirror raw packets to a collector, which
+// reassembles them into the flow records LLMPrism consumes. This substrate
+// models that step explicitly: flows are packetized onto the wire and a
+// configurable collector (timeouts, sampling) turns packets back into flow
+// records — including the aggregation/splitting artifacts that real
+// collectors introduce and that the analysis layer must tolerate.
+#pragma once
+
+#include <cstdint>
+
+#include "llmprism/common/ids.hpp"
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+/// One mirrored packet (only the header fields a collector keeps). When a
+/// long flow is sampled (see PacketizeConfig::max_packets_per_flow) one
+/// record stands for a run of wire packets, so bytes is 64-bit.
+struct PacketRecord {
+  TimeNs timestamp = 0;    ///< when the packet passed the mirror point
+  GpuId src;
+  GpuId dst;
+  std::uint64_t bytes = 0; ///< wire bytes this record accounts for
+  SwitchId observed_at;    ///< the switch whose port was mirrored
+
+  friend constexpr bool operator==(const PacketRecord&,
+                                   const PacketRecord&) = default;
+};
+
+/// Strict weak order by timestamp (ties by endpoints for determinism).
+struct PacketTimestampLess {
+  constexpr bool operator()(const PacketRecord& a,
+                            const PacketRecord& b) const {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  }
+};
+
+}  // namespace llmprism

@@ -1,0 +1,25 @@
+// Communication-pair roles. Shared vocabulary between the analysis side
+// (which infers them from flows) and the simulator (which knows them).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace llmprism {
+
+/// Role of a cross-machine communication pair within a training job.
+enum class CommType : std::uint8_t {
+  kPP,  ///< pipeline-parallel point-to-point (activations/gradients)
+  kDP,  ///< data-parallel collective (gradient synchronization)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CommType t) {
+  return t == CommType::kPP ? "PP" : "DP";
+}
+
+inline std::ostream& operator<<(std::ostream& os, CommType t) {
+  return os << to_string(t);
+}
+
+}  // namespace llmprism

@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for flow-trace import/export.
+//
+// Handles the subset of RFC 4180 we produce: comma-separated fields with
+// optional double-quote quoting (embedded commas/quotes). No embedded
+// newlines inside fields.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmprism::csv {
+
+/// Split one CSV line into fields, honouring double-quote quoting.
+/// Throws std::runtime_error on an unterminated quoted field.
+[[nodiscard]] std::vector<std::string> parse_line(std::string_view line);
+
+/// Quote a field if it contains a comma, quote or leading/trailing space.
+[[nodiscard]] std::string escape_field(std::string_view field);
+
+/// Write one row, escaping fields as needed.
+void write_row(std::ostream& os, std::span<const std::string> fields);
+
+/// Read all rows from a stream; blank lines are skipped.
+[[nodiscard]] std::vector<std::vector<std::string>> read_all(std::istream& is);
+
+}  // namespace llmprism::csv

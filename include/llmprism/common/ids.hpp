@@ -1,0 +1,109 @@
+// Strongly typed identifiers used throughout LLMPrism.
+//
+// Every entity in the system (GPU/NIC endpoint, machine, switch, job, rank)
+// gets its own id type so that mixing them up is a compile-time error
+// (C++ Core Guidelines P.1/P.4: express ideas directly in code, prefer
+// static type safety).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace llmprism {
+
+/// A strongly typed integral identifier. `Tag` is a phantom type that makes
+/// each instantiation a distinct type; `Rep` is the underlying representation.
+/// A default-constructed id is invalid (all-ones sentinel).
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  /// Underlying integral value. Only valid ids should be unwrapped.
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidRep; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  static constexpr Rep kInvalidRep = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalidRep;
+};
+
+struct GpuTag {};
+struct MachineTag {};
+struct SwitchTag {};
+struct JobTag {};
+struct RankTag {};
+
+/// Identifies one GPU endpoint cluster-wide. On RoCE fabrics each GPU owns a
+/// dedicated NIC, so a GPU id doubles as the network address seen in flows.
+using GpuId = StrongId<GpuTag>;
+/// Identifies a physical server (machine) hosting several GPUs.
+using MachineId = StrongId<MachineTag>;
+/// Identifies a network switch (leaf or spine).
+using SwitchId = StrongId<SwitchTag>;
+/// Identifies a recognized (or simulated) training job.
+using JobId = StrongId<JobTag>;
+/// Identifies a rank *within* one training job (0 .. world_size-1).
+using RankId = StrongId<RankTag>;
+
+/// An unordered GPU communication pair, stored canonically (first <= second)
+/// so that (u, v) and (v, u) compare and hash equal. Alg. 2 of the paper
+/// classifies undirected pairs.
+struct GpuPair {
+  GpuId first;
+  GpuId second;
+
+  constexpr GpuPair() = default;
+  constexpr GpuPair(GpuId a, GpuId b)
+      : first(a <= b ? a : b), second(a <= b ? b : a) {}
+
+  friend constexpr auto operator<=>(const GpuPair&, const GpuPair&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const GpuPair& p) {
+    return os << '(' << p.first << ',' << p.second << ')';
+  }
+};
+
+}  // namespace llmprism
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<llmprism::StrongId<Tag, Rep>> {
+  size_t operator()(llmprism::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct hash<llmprism::GpuPair> {
+  size_t operator()(const llmprism::GpuPair& p) const noexcept {
+    // 64-bit mix of the two 32-bit id values.
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(p.first.value()) << 32) |
+        p.second.value();
+    // SplitMix64 finalizer: good avalanche, cheap.
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,77 @@
+// Fixed-capacity inline vector, used where tiny bounded sequences appear on
+// hot paths (e.g., the switch path of a flow record is at most 3 hops in a
+// two-tier Clos). Avoids a heap allocation per flow.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace llmprism {
+
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr InlineVec() = default;
+
+  constexpr InlineVec(std::initializer_list<T> init) {
+    if (init.size() > N) throw std::length_error("InlineVec: too many items");
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  constexpr void push_back(const T& v) {
+    if (size_ == N) throw std::length_error("InlineVec: capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  constexpr void clear() { size_ = 0; }
+
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] constexpr T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] constexpr const T& operator[](std::size_t i) const {
+    return data_[i];
+  }
+
+  [[nodiscard]] constexpr T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("InlineVec::at");
+    return data_[i];
+  }
+  [[nodiscard]] constexpr const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("InlineVec::at");
+    return data_[i];
+  }
+
+  [[nodiscard]] constexpr T& front() { return data_[0]; }
+  [[nodiscard]] constexpr const T& front() const { return data_[0]; }
+  [[nodiscard]] constexpr T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] constexpr const T& back() const { return data_[size_ - 1]; }
+
+  [[nodiscard]] constexpr iterator begin() { return data_.data(); }
+  [[nodiscard]] constexpr iterator end() { return data_.data() + size_; }
+  [[nodiscard]] constexpr const_iterator begin() const { return data_.data(); }
+  [[nodiscard]] constexpr const_iterator end() const {
+    return data_.data() + size_;
+  }
+
+  friend constexpr bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace llmprism

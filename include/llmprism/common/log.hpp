@@ -1,0 +1,50 @@
+// Tiny leveled logger. The analysis pipeline runs continuously in
+// production, so logging must be cheap when disabled: level check first,
+// formatting only when the message will be emitted.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace llmprism::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+Level get_level();
+void set_level(Level level);
+
+namespace detail {
+void emit(Level level, std::string_view message);
+}  // namespace detail
+
+/// Log `message` at `level` if enabled. Message pieces are streamed, so call
+/// sites read like: log::info("recognized ", jobs.size(), " jobs").
+template <typename... Args>
+void write(Level level, Args&&... args) {
+  if (level < get_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::emit(level, oss.str());
+}
+
+template <typename... Args>
+void debug(Args&&... args) {
+  write(Level::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  write(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  write(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(Args&&... args) {
+  write(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace llmprism::log

@@ -1,0 +1,110 @@
+// Deterministic random number generation for the simulator and noise models.
+//
+// All randomness in this repository flows through Rng so that every
+// experiment is reproducible from a single seed. The engine is
+// xoshiro256** (public domain, Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace llmprism {
+
+namespace detail {
+
+/// SplitMix64: used to expand one 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace detail
+
+/// xoshiro256** engine satisfying UniformRandomBitGenerator, usable with
+/// <random> distributions.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x243f6a8885a308d3ULL) {
+    detail::SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Convenience wrapper bundling an engine with the distributions the
+/// simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derive an independent child generator; used to give each job / rank its
+  /// own stream so adding one job never perturbs another's randomness.
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    detail::SplitMix64 sm(engine_() ^ (salt * 0x9e3779b97f4a7c15ULL));
+    return Rng(sm.next());
+  }
+
+  [[nodiscard]] Xoshiro256ss& engine() { return engine_; }
+
+ private:
+  Xoshiro256ss engine_;
+};
+
+}  // namespace llmprism

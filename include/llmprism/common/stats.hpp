@@ -1,0 +1,78 @@
+// Descriptive statistics used by the diagnosis and identification layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace llmprism::stats {
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divides by n); 0 for fewer than 2 samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Mean absolute deviation around the mean.
+[[nodiscard]] double mean_abs_deviation(std::span<const double> xs);
+
+/// Median absolute deviation around the median (robust dispersion).
+[[nodiscard]] double median_abs_deviation(std::span<const double> xs);
+
+/// Median (average of middle two for even n); 0 for an empty range.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Most frequent value of an integer sample; ties broken toward the smaller
+/// value, 0 for an empty range. Used for Mode(N_k) in Alg. 2.
+[[nodiscard]] std::int64_t mode(std::span<const std::int64_t> xs);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sets; 1.0 when both empty.
+template <typename T>
+[[nodiscard]] double jaccard(const std::unordered_set<T>& a,
+                             const std::unordered_set<T>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t inter = 0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (const T& x : small) inter += large.count(x);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long-running online monitoring.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const;
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace llmprism::stats

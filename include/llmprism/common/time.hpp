@@ -1,0 +1,50 @@
+// Time representation: signed 64-bit nanoseconds since the trace epoch.
+//
+// Flow records and simulator events use a single linear clock; nanosecond
+// resolution covers ±292 years, far beyond any trace window.
+#pragma once
+
+#include <cstdint>
+
+namespace llmprism {
+
+/// A point in time, in nanoseconds since the trace epoch.
+using TimeNs = std::int64_t;
+/// A span of time, in nanoseconds.
+using DurationNs = std::int64_t;
+
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+inline constexpr DurationNs kMinute = 60 * kSecond;
+inline constexpr DurationNs kHour = 60 * kMinute;
+
+[[nodiscard]] constexpr double to_seconds(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_milliseconds(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr DurationNs from_seconds(double s) {
+  return static_cast<DurationNs>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr DurationNs from_milliseconds(double ms) {
+  return static_cast<DurationNs>(ms * static_cast<double>(kMillisecond));
+}
+
+/// A half-open time window [begin, end).
+struct TimeWindow {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+
+  [[nodiscard]] constexpr DurationNs length() const { return end - begin; }
+  [[nodiscard]] constexpr bool contains(TimeNs t) const {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool empty() const { return end <= begin; }
+};
+
+}  // namespace llmprism

@@ -1,0 +1,83 @@
+// Communication-type identification (paper Alg. 2, §IV-B).
+//
+// For every communication pair of a job:
+//  1. compute inter-flow intervals,
+//  2. divide the pair's flows into training steps with BOCD over the
+//     interval sequence (change-point when P(r=0) > 0.95),
+//  3. count the distinct flow sizes N_k per step; the pair is PP iff
+//     Mode(N_k) == 1 (PP messages have one consistent size; DP collectives
+//     split into several flows of varying sizes),
+//  4. noise refinement: DP membership is transitive, so every pair whose
+//     endpoints land in the same connected component of the DP graph is
+//     flipped to DP (recovers DP pairs whose bursts the collector
+//     truncated to a single size).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/bocd/bocd.hpp"
+#include "llmprism/common/comm_type.hpp"
+#include "llmprism/common/ids.hpp"
+#include "llmprism/flow/trace.hpp"
+
+namespace llmprism {
+
+struct CommTypeConfig {
+  /// Gap segmenter (BOCD) settings for step division over inter-flow
+  /// intervals.
+  SegmenterConfig segmenter;
+  /// Run the DP-transitivity refinement (Table I's ablation toggle).
+  bool refine = true;
+  /// Flow sizes within this relative tolerance count as one distinct size
+  /// (absorbs collector size-reporting jitter; DP buckets differ by far
+  /// more).
+  double size_tolerance = 0.05;
+  /// Size clusters carrying less than this fraction of a pair's flows are
+  /// collector artifacts (partially recorded flows), not bucket structure,
+  /// and are ignored when counting distinct sizes. Without this, ONE
+  /// partial record can flip a PP pair to DP, whose false edge then bridges
+  /// two DP components and the refinement flips every PP pair between the
+  /// two stages (a transitivity cascade). Real DP buckets each carry far
+  /// more than this share.
+  double min_size_share = 0.03;
+};
+
+struct PairClassification {
+  GpuPair pair;
+  CommType type = CommType::kPP;
+  /// Classification before refinement (equal to `type` when refine=false or
+  /// the refinement did not touch the pair).
+  CommType pre_refinement_type = CommType::kPP;
+  std::size_t num_flows = 0;
+  std::size_t num_steps_observed = 0;
+};
+
+struct CommTypeResult {
+  std::vector<PairClassification> pairs;
+  /// Connected components of the DP graph — the recovered DP groups
+  /// (GPU ids, ascending within each component).
+  std::vector<std::vector<GpuId>> dp_components;
+
+  [[nodiscard]] std::unordered_map<GpuPair, CommType> types() const;
+};
+
+class CommTypeIdentifier {
+ public:
+  explicit CommTypeIdentifier(CommTypeConfig config = {});
+
+  /// Classify every communication pair appearing in `job_trace` (the flows
+  /// of one recognized job, sorted by time).
+  [[nodiscard]] CommTypeResult identify(const FlowTrace& job_trace) const;
+
+  /// Count distinct flow sizes under the configured relative tolerance.
+  /// Exposed for tests and the ablation bench.
+  [[nodiscard]] std::size_t count_distinct_sizes(
+      std::vector<std::uint64_t> sizes) const;
+
+ private:
+  CommTypeConfig config_;
+};
+
+}  // namespace llmprism

@@ -1,0 +1,94 @@
+// Continuous online monitoring (the paper's deployment mode: LLMPrism "has
+// been deployed ... since Oct. 2024", analyzing the live flow feed window
+// by window and alerting SREs).
+//
+// OnlineMonitor ingests flow batches as the collector delivers them,
+// partitions time into fixed analysis windows, runs the full Prism pipeline
+// on every completed window, and keeps job identities stable across
+// windows (a tenant's job keeps its id as long as it occupies the same
+// machines), so alerts can be attributed to long-running jobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/core/prism.hpp"
+
+namespace llmprism {
+
+struct MonitorConfig {
+  PrismConfig prism;
+  /// Analysis window length.
+  DurationNs window = kMinute;
+  /// Flows may arrive out of order by up to this much; a window is closed
+  /// only once the watermark (latest flow start seen) passes its end by
+  /// this slack.
+  DurationNs reorder_slack = kSecond;
+};
+
+/// A stable identity for a recognized job across windows.
+using MonitorJobId = std::uint64_t;
+
+/// Result of analyzing one completed window.
+struct MonitorTick {
+  TimeWindow window;
+  PrismReport report;
+  /// Stable job id for each entry of report.jobs (parallel vector).
+  std::vector<MonitorJobId> job_ids;
+};
+
+/// Cumulative counters across the monitor's lifetime.
+struct MonitorStats {
+  std::size_t flows_ingested = 0;
+  /// Flows that arrived after their window had already closed (beyond the
+  /// reorder slack) and were discarded.
+  std::size_t flows_dropped_late = 0;
+  std::size_t windows_completed = 0;
+  std::size_t step_alerts = 0;
+  std::size_t group_alerts = 0;
+  std::size_t switch_bandwidth_alerts = 0;
+  std::size_t switch_concurrency_alerts = 0;
+  /// Windows each stable job was observed in.
+  std::unordered_map<MonitorJobId, std::size_t> job_windows;
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(const ClusterTopology& topology,
+                         MonitorConfig config = {});
+
+  /// Feed a batch of flows (any order within the reorder slack). Returns
+  /// one tick per window the batch completed, in time order.
+  std::vector<MonitorTick> ingest(const FlowTrace& batch);
+
+  /// Close and analyze the current partial window (end of feed / shutdown).
+  /// Returns nothing if no flows are buffered.
+  std::optional<MonitorTick> flush();
+
+  [[nodiscard]] const MonitorStats& stats() const { return stats_; }
+
+  /// Number of distinct jobs ever observed.
+  [[nodiscard]] std::size_t jobs_seen() const { return job_ids_.size(); }
+
+ private:
+  MonitorTick analyze_window(TimeWindow window, FlowTrace flows);
+  MonitorJobId stable_id_for(const RecognizedJob& job);
+
+  const ClusterTopology& topology_;
+  MonitorConfig config_;
+  Prism prism_;
+
+  FlowTrace buffer_;
+  bool window_origin_set_ = false;
+  TimeNs window_begin_ = 0;   ///< begin of the oldest un-analyzed window
+  TimeNs watermark_ = 0;      ///< latest flow start seen
+
+  /// machine-set key -> stable id.
+  std::unordered_map<std::string, MonitorJobId> job_ids_;
+  MonitorJobId next_job_id_ = 0;
+  MonitorStats stats_;
+};
+
+}  // namespace llmprism

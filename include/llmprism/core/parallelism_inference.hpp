@@ -1,0 +1,53 @@
+// Inference of a job's full parallelism configuration (tp, dp, pp, and the
+// micro-batch count) from its recovered communication structure — the
+// completion of the paper's "Parallelism Strategies Identification" phase:
+// beyond labelling pairs DP/PP, reconstruct the 3D layout itself.
+//
+// Structure exploited:
+//  * dp  — the size of the DP components (every DP group has dp members);
+//  * pp  — 1 + the length of the PP chains: PP pairs link consecutive
+//          pipeline stages, so following PP edges from a chain end
+//          traverses all pp stages;
+//  * tp  — world_size / (dp * pp); world size = the job's GPU count
+//          (machine-local expansion already includes TP-only GPUs);
+//  * micro-batches — PP pairs carry one activation forward and one
+//          gradient backward per micro-batch, so a pair's flows-per-step
+//          is 2m (estimated from flow count / step count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/timeline.hpp"
+
+namespace llmprism {
+
+struct InferredParallelism {
+  std::uint32_t world_size = 0;
+  std::uint32_t dp = 1;
+  std::uint32_t pp = 1;
+  std::uint32_t tp = 1;
+  std::uint32_t micro_batches = 0;  ///< 0 when no PP pairs are visible
+  /// Diagnostics: how consistent the evidence was.
+  bool dp_groups_uniform = true;   ///< all DP components the same size
+  bool pp_chains_uniform = true;   ///< all PP chains the same length
+  bool divides_world = true;       ///< dp*pp divides world_size
+  /// When several members of one DP group share a machine, parts of the
+  /// ring hide inside machines and the observed components are open ARCS
+  /// of the true ring (paths, not cycles). dp is then a lower bound and tp
+  /// an upper bound — structurally indistinguishable from a smaller-dp /
+  /// larger-tp layout at the flow level. True when every component
+  /// contains a cycle (complete rings observed).
+  bool dp_groups_complete = true;
+};
+
+/// Infer the layout of one job from its GPU count, pair classifications and
+/// (optionally, for micro-batch estimation) reconstructed timelines.
+/// Degenerate inputs are handled: with no DP components dp = 1; with no PP
+/// pairs pp = 1; tp falls back to 1 when dp*pp does not divide the world.
+[[nodiscard]] InferredParallelism infer_parallelism(
+    std::size_t num_gpus, const CommTypeResult& comm_types,
+    std::span<const GpuTimeline> timelines = {});
+
+}  // namespace llmprism

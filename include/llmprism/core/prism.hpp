@@ -1,0 +1,67 @@
+// The end-to-end LLMPrism pipeline (paper Fig. 2):
+//   (1) recognize training jobs            -> JobRecognizer  (Alg. 1)
+//   (2) identify parallelism strategies    -> CommTypeIdentifier (Alg. 2)
+//   (3) reconstruct per-GPU timelines      -> TimelineReconstructor
+//   (4) multi-dimensional diagnosis        -> Diagnoser
+//
+// Input: the switch-level flow trace of the whole cluster over a time
+// window, plus the physical topology. No tenant cooperation required.
+#pragma once
+
+#include <vector>
+
+#include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/diagnosis.hpp"
+#include "llmprism/core/job_recognition.hpp"
+#include "llmprism/core/parallelism_inference.hpp"
+#include "llmprism/core/timeline.hpp"
+#include "llmprism/flow/trace.hpp"
+#include "llmprism/topology/topology.hpp"
+
+namespace llmprism {
+
+struct PrismConfig {
+  JobRecognitionConfig recognition;
+  CommTypeConfig comm_type;
+  TimelineConfig timeline;
+  DiagnosisConfig diagnosis;
+  /// Timeline reconstruction dominates cost; disable when only job
+  /// recognition / parallelism identification is needed.
+  bool reconstruct_timelines = true;
+};
+
+/// Full analysis of one recognized job.
+struct JobAnalysis {
+  JobId id;                 ///< index within this report
+  RecognizedJob job;
+  FlowTrace trace;          ///< the job's flows (time-sorted)
+  CommTypeResult comm_types;
+  /// The job's reconstructed 3D layout (tp/dp/pp/micro-batches).
+  InferredParallelism inferred;
+  std::vector<GpuTimeline> timelines;
+  std::vector<StepAlert> step_alerts;
+  std::vector<GroupAlert> group_alerts;
+};
+
+struct PrismReport {
+  JobRecognitionResult recognition;
+  std::vector<JobAnalysis> jobs;
+  /// Fig. 5 series: average DP bandwidth per switch, cluster-wide.
+  std::vector<std::pair<SwitchId, double>> switch_bandwidth_gbps;
+  std::vector<SwitchBandwidthAlert> switch_bandwidth_alerts;
+  std::vector<SwitchConcurrencyAlert> switch_concurrency_alerts;
+};
+
+class Prism {
+ public:
+  explicit Prism(const ClusterTopology& topology, PrismConfig config = {});
+
+  /// Analyze one window of cluster-wide flows end-to-end.
+  [[nodiscard]] PrismReport analyze(const FlowTrace& trace) const;
+
+ private:
+  const ClusterTopology& topology_;
+  PrismConfig config_;
+};
+
+}  // namespace llmprism

@@ -1,0 +1,43 @@
+// Human-readable rendering of reconstructed timelines and reports — the
+// Fig. 4-style visualization the paper's SRE platform shows.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "llmprism/core/prism.hpp"
+#include "llmprism/core/timeline.hpp"
+
+namespace llmprism {
+
+struct RenderOptions {
+  std::size_t width = 100;   ///< characters across the time axis
+  /// Window to render; {0,0} = the timeline's own span.
+  TimeWindow window{};
+};
+
+/// One GPU's timeline as a single text lane, e.g.
+///   gpu 17 |FFFF>RRRR<CCCCCC=DDDD=|
+/// F/compute, >/pp_send, </pp_recv, D/dp; '.' = idle.
+[[nodiscard]] std::string render_timeline_lane(const GpuTimeline& timeline,
+                                               const RenderOptions& options = {});
+
+/// Multi-rank chart with a shared time axis (chronological interleaving of
+/// PP and DP per rank, as in the paper's Fig. 4).
+[[nodiscard]] std::string render_timeline_chart(
+    std::span<const GpuTimeline> timelines, const RenderOptions& options = {});
+
+/// Timeline(s) as JSON lines (one event per line) for external tooling.
+void write_timeline_json(std::ostream& os,
+                         std::span<const GpuTimeline> timelines);
+
+/// Compact textual summary of a full analysis report.
+[[nodiscard]] std::string render_report_summary(const PrismReport& report);
+
+/// Full report as a single JSON document (jobs, inferred layouts, alerts,
+/// per-switch bandwidth) for SRE-platform ingestion. Timelines are omitted
+/// (use write_timeline_json for those; they dominate the volume).
+void write_report_json(std::ostream& os, const PrismReport& report);
+
+}  // namespace llmprism

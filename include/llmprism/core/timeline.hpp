@@ -1,0 +1,94 @@
+// Per-GPU training-timeline reconstruction (paper §IV-C).
+//
+// Key temporal invariant: *every training step concludes with a burst of DP
+// collective traffic*. Per GPU, BOCD over the intervals between its DP
+// flows partitions DP traffic into per-step bursts; the end of each burst
+// marks the end of a training step. PP flows are then interleaved
+// chronologically and the gaps between communication events are attributed
+// to compute, yielding the Fig. 4-style per-rank timeline.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/bocd/bocd.hpp"
+#include "llmprism/common/comm_type.hpp"
+#include "llmprism/common/ids.hpp"
+#include "llmprism/flow/trace.hpp"
+
+namespace llmprism {
+
+enum class TimelineEventKind : std::uint8_t {
+  kPpSend,   ///< this GPU sent a pipeline activation/gradient
+  kPpRecv,   ///< this GPU received one
+  kDp,       ///< data-parallel collective flow (either direction)
+  kCompute,  ///< inferred compute: gap between communication events
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TimelineEventKind k) {
+  switch (k) {
+    case TimelineEventKind::kPpSend: return "pp_send";
+    case TimelineEventKind::kPpRecv: return "pp_recv";
+    case TimelineEventKind::kDp: return "dp";
+    case TimelineEventKind::kCompute: return "compute";
+  }
+  return "?";
+}
+
+struct TimelineEvent {
+  TimelineEventKind kind{};
+  TimeNs start = 0;
+  TimeNs end = 0;
+  GpuId peer;  ///< other endpoint (invalid for compute events)
+
+  [[nodiscard]] DurationNs duration() const { return end - start; }
+};
+
+/// One reconstructed training step of one GPU. Steps span from the end of
+/// the previous step's DP burst to the end of this step's DP burst.
+struct ReconstructedStep {
+  std::size_t index = 0;
+  TimeNs begin = 0;     ///< end of previous DP burst (trace start for step 0)
+  TimeNs end = 0;       ///< end of this step's DP burst
+  TimeNs dp_begin = 0;  ///< first DP flow of the step
+  TimeNs dp_end = 0;    ///< last DP flow end of the step (== end)
+
+  [[nodiscard]] DurationNs duration() const { return end - begin; }
+  [[nodiscard]] DurationNs dp_duration() const { return dp_end - dp_begin; }
+};
+
+struct GpuTimeline {
+  GpuId gpu;
+  std::vector<TimelineEvent> events;      ///< chronological, compute-filled
+  std::vector<ReconstructedStep> steps;   ///< chronological
+};
+
+struct TimelineConfig {
+  /// Gap segmenter (BOCD) settings for DP-burst segmentation.
+  SegmenterConfig segmenter;
+  /// Gaps between communication events shorter than this are not reported
+  /// as compute (they are launch latency).
+  DurationNs min_compute_gap = 1 * kMillisecond;
+};
+
+class TimelineReconstructor {
+ public:
+  explicit TimelineReconstructor(TimelineConfig config = {});
+
+  /// Reconstruct the timeline of `gpu` from one job's flows, given the
+  /// per-pair communication types from Alg. 2.
+  [[nodiscard]] GpuTimeline reconstruct(
+      GpuId gpu, const FlowTrace& job_trace,
+      const std::unordered_map<GpuPair, CommType>& types) const;
+
+  /// Reconstruct every GPU that appears in the trace.
+  [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
+      const FlowTrace& job_trace,
+      const std::unordered_map<GpuPair, CommType>& types) const;
+
+ private:
+  TimelineConfig config_;
+};
+
+}  // namespace llmprism

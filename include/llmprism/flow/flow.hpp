@@ -1,0 +1,58 @@
+// Network flow records — the only job-related signal LLMPrism consumes.
+//
+// §II-B of the paper: switch-level mirroring (ERSPAN-style) yields flows
+// with "flow start time, source address, destination address, involved
+// switches, flow size, and flow durations". This struct is that schema.
+#pragma once
+
+#include <cstdint>
+
+#include "llmprism/common/ids.hpp"
+#include "llmprism/common/inline_vec.hpp"
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+/// Switches traversed by a flow. A two-tier Clos path is at most
+/// leaf → spine → leaf, so 4 slots is ample.
+using SwitchPath = InlineVec<SwitchId, 4>;
+
+/// One mirrored network flow between two GPU NICs.
+struct FlowRecord {
+  TimeNs start_time = 0;     ///< flow start, ns since trace epoch
+  GpuId src;                 ///< source GPU/NIC address
+  GpuId dst;                 ///< destination GPU/NIC address
+  std::uint64_t bytes = 0;   ///< flow size in bytes
+  DurationNs duration = 0;   ///< flow duration
+  SwitchPath switches;       ///< switches the flow traversed, in hop order
+
+  [[nodiscard]] constexpr TimeNs end_time() const {
+    return start_time + duration;
+  }
+
+  /// Unordered communication pair (Alg. 2 classifies undirected pairs).
+  [[nodiscard]] constexpr GpuPair pair() const { return GpuPair(src, dst); }
+
+  /// Average bandwidth over the flow's lifetime, in Gbit/s; 0 if the
+  /// duration is zero.
+  [[nodiscard]] constexpr double bandwidth_gbps() const {
+    if (duration <= 0) return 0.0;
+    return static_cast<double>(bytes) * 8.0 / static_cast<double>(duration);
+  }
+
+  friend constexpr bool operator==(const FlowRecord&,
+                                   const FlowRecord&) = default;
+};
+
+/// Strict weak order by start time (ties by src, dst, bytes for
+/// determinism).
+struct FlowStartTimeLess {
+  constexpr bool operator()(const FlowRecord& a, const FlowRecord& b) const {
+    if (a.start_time != b.start_time) return a.start_time < b.start_time;
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.bytes < b.bytes;
+  }
+};
+
+}  // namespace llmprism

@@ -1,0 +1,29 @@
+// Flow-trace serialization (CSV). The on-disk format mirrors what a
+// production collector would export:
+//
+//   start_ns,src,dst,bytes,duration_ns,switches
+//
+// where `switches` is a ';'-joined hop list, e.g. "3;17;4".
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "llmprism/flow/trace.hpp"
+
+namespace llmprism {
+
+/// Write `trace` as CSV with a header row.
+void write_csv(std::ostream& os, const FlowTrace& trace);
+
+/// Parse a CSV flow trace (header row required).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] FlowTrace read_csv(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error if the file cannot
+/// be opened.
+void write_csv_file(const std::string& path, const FlowTrace& trace);
+[[nodiscard]] FlowTrace read_csv_file(const std::string& path);
+
+}  // namespace llmprism

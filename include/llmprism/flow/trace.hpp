@@ -1,0 +1,66 @@
+// FlowTrace: a time-ordered collection of flow records plus the index
+// structures the analysis phases need (per-pair, per-endpoint, per-switch).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "llmprism/common/time.hpp"
+#include "llmprism/flow/flow.hpp"
+
+namespace llmprism {
+
+class FlowTrace {
+ public:
+  FlowTrace() = default;
+  explicit FlowTrace(std::vector<FlowRecord> flows);
+
+  void add(FlowRecord flow);
+  void reserve(std::size_t n) { flows_.reserve(n); }
+
+  /// Append all flows of `other`; invalidates sortedness.
+  void append(const FlowTrace& other);
+
+  /// Sort by start time (stable ordering via FlowStartTimeLess).
+  void sort();
+  [[nodiscard]] bool is_sorted() const;
+
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] bool empty() const { return flows_.empty(); }
+  [[nodiscard]] const FlowRecord& operator[](std::size_t i) const {
+    return flows_[i];
+  }
+  [[nodiscard]] std::span<const FlowRecord> flows() const { return flows_; }
+  [[nodiscard]] auto begin() const { return flows_.begin(); }
+  [[nodiscard]] auto end() const { return flows_.end(); }
+
+  /// Flows whose start time falls in [window.begin, window.end).
+  /// Requires a sorted trace (binary search); throws otherwise.
+  [[nodiscard]] FlowTrace window(TimeWindow w) const;
+
+  /// Earliest start / latest end over all flows; {0,0} when empty.
+  [[nodiscard]] TimeWindow span() const;
+
+ private:
+  std::vector<FlowRecord> flows_;
+};
+
+/// Flow indices (by position into the trace) grouped per unordered pair.
+/// Positions within each pair preserve trace order.
+[[nodiscard]] std::unordered_map<GpuPair, std::vector<std::size_t>>
+build_pair_index(const FlowTrace& trace);
+
+/// Flow indices grouped per switch traversed.
+[[nodiscard]] std::unordered_map<SwitchId, std::vector<std::size_t>>
+build_switch_index(const FlowTrace& trace);
+
+/// All distinct GPU endpoints appearing in the trace.
+[[nodiscard]] std::unordered_set<GpuId> endpoints(const FlowTrace& trace);
+
+/// All distinct unordered communication pairs in the trace.
+[[nodiscard]] std::vector<GpuPair> communication_pairs(const FlowTrace& trace);
+
+}  // namespace llmprism

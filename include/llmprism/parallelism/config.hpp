@@ -1,0 +1,97 @@
+// 3D-parallel training configuration and rank <-> coordinate mapping.
+//
+// A job with tensor parallel size `tp`, pipeline parallel size `pp` and data
+// parallel size `dp` has world size tp*dp*pp. Each rank r maps to a
+// coordinate (tp_idx, dp_idx, pp_idx):
+//   - the TP group of r: ranks sharing (dp_idx, pp_idx)  — intra-machine
+//   - the DP group of r: ranks sharing (tp_idx, pp_idx)  — collective sync
+//   - the PP group of r: ranks sharing (tp_idx, dp_idx)  — pipeline stages
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "llmprism/common/ids.hpp"
+
+namespace llmprism {
+
+/// Axis nesting order for rank numbering, innermost first.
+/// kTpDpPp is the Megatron-LM default (tp fastest, pp slowest).
+enum class RankOrder { kTpDpPp, kTpPpDp };
+
+struct ParallelismConfig {
+  std::uint32_t tp = 1;
+  std::uint32_t dp = 1;
+  std::uint32_t pp = 1;
+  std::uint32_t micro_batches = 4;  ///< micro-batches per training step
+  RankOrder order = RankOrder::kTpDpPp;
+
+  [[nodiscard]] constexpr std::uint32_t world_size() const {
+    return tp * dp * pp;
+  }
+
+  /// Throws std::invalid_argument on a zero-sized axis or zero micro-batches.
+  void validate() const {
+    if (tp == 0 || dp == 0 || pp == 0) {
+      throw std::invalid_argument("parallelism: tp/dp/pp must all be > 0");
+    }
+    if (micro_batches == 0) {
+      throw std::invalid_argument("parallelism: micro_batches must be > 0");
+    }
+  }
+
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const ParallelismConfig& c) {
+    return os << "tp=" << c.tp << " dp=" << c.dp << " pp=" << c.pp
+              << " mb=" << c.micro_batches;
+  }
+};
+
+/// Position of a rank along the three parallelism axes.
+struct RankCoord {
+  std::uint32_t tp_idx = 0;
+  std::uint32_t dp_idx = 0;
+  std::uint32_t pp_idx = 0;
+
+  friend constexpr bool operator==(const RankCoord&,
+                                   const RankCoord&) = default;
+};
+
+/// Bidirectional rank <-> coordinate mapping plus group enumeration.
+class RankMap {
+ public:
+  explicit RankMap(ParallelismConfig config);
+
+  [[nodiscard]] const ParallelismConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t world_size() const {
+    return config_.world_size();
+  }
+
+  [[nodiscard]] RankCoord coord_of(RankId rank) const;
+  [[nodiscard]] RankId rank_of(RankCoord coord) const;
+
+  /// Ranks sharing (dp_idx, pp_idx), ordered by tp_idx.
+  [[nodiscard]] std::vector<RankId> tp_group(std::uint32_t dp_idx,
+                                             std::uint32_t pp_idx) const;
+  /// Ranks sharing (tp_idx, pp_idx), ordered by dp_idx.
+  [[nodiscard]] std::vector<RankId> dp_group(std::uint32_t tp_idx,
+                                             std::uint32_t pp_idx) const;
+  /// Ranks sharing (tp_idx, dp_idx), ordered by pp_idx (= pipeline stages).
+  [[nodiscard]] std::vector<RankId> pp_group(std::uint32_t tp_idx,
+                                             std::uint32_t dp_idx) const;
+
+  /// All DP groups (tp*pp of them), each a vector of dp ranks.
+  [[nodiscard]] std::vector<std::vector<RankId>> all_dp_groups() const;
+  /// All PP groups (tp*dp of them), each a vector of pp stage ranks.
+  [[nodiscard]] std::vector<std::vector<RankId>> all_pp_groups() const;
+
+ private:
+  void check_rank(RankId rank) const;
+  void check_coord(RankCoord coord) const;
+
+  ParallelismConfig config_;
+};
+
+}  // namespace llmprism

@@ -1,0 +1,52 @@
+// Placement of one job's ranks onto cluster GPUs.
+//
+// Ranks are packed in order onto the job's machine list (gpus_per_machine
+// consecutive ranks per machine). With the Megatron rank order (tp fastest)
+// and tp dividing gpus_per_machine, every TP group lands on one machine —
+// the standard deployment and the reason TP traffic never crosses a switch.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/parallelism/config.hpp"
+#include "llmprism/topology/topology.hpp"
+
+namespace llmprism {
+
+class JobPlacement {
+ public:
+  /// Places `ranks` of `rank_map` onto `machines` (in order) of `topology`.
+  ///
+  /// Throws std::invalid_argument if the machine list capacity does not
+  /// exactly match the world size, or if `require_tp_intra_node` and some TP
+  /// group would span machines.
+  JobPlacement(const RankMap& rank_map, std::vector<MachineId> machines,
+               const ClusterTopology& topology,
+               bool require_tp_intra_node = true);
+
+  [[nodiscard]] const std::vector<MachineId>& machines() const {
+    return machines_;
+  }
+
+  [[nodiscard]] GpuId gpu_of(RankId rank) const;
+  /// Rank of a GPU, or an invalid RankId if the GPU is not part of this job.
+  [[nodiscard]] RankId rank_of(GpuId gpu) const;
+
+  [[nodiscard]] std::vector<GpuId> all_gpus() const;
+
+ private:
+  std::vector<MachineId> machines_;
+  std::vector<GpuId> rank_to_gpu_;
+  std::unordered_map<GpuId, RankId> gpu_to_rank_;
+};
+
+/// Undirected ring edges of a communication `group` for ring channel
+/// `channel`. Each NCCL-style channel visits the group in a different cyclic
+/// order (stride coprime with the group size), so multiple channels give a
+/// DP group a denser communication graph. Groups of size < 2 have no edges;
+/// a group of size 2 has the single possible edge for every channel.
+[[nodiscard]] std::vector<std::pair<RankId, RankId>> ring_edges(
+    const std::vector<RankId>& group, std::uint32_t channel);
+
+}  // namespace llmprism

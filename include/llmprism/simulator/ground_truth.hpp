@@ -1,0 +1,76 @@
+// Ground-truth records captured by the simulator.
+//
+// The analysis side (src/core) never sees these — they stand in for the
+// paper's evaluation oracles: tenant-confirmed job membership (§V-A),
+// known parallelism configurations (§V-B), and PyTorch-Profiler reference
+// timelines (§V-C).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "llmprism/common/comm_type.hpp"
+#include "llmprism/common/ids.hpp"
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+/// True boundaries of one training step (global, synchronized across the
+/// job) plus the DP communication span of each DP group in that step.
+struct StepTruth {
+  TimeNs begin = 0;       ///< step start (first compute launches)
+  TimeNs end = 0;         ///< step end (optimizer update finished)
+  TimeNs dp_end = 0;      ///< when the last DP flow of the step ended
+
+  [[nodiscard]] DurationNs duration() const { return end - begin; }
+};
+
+/// Per-(DP group, step) communication span, for cross-group diagnosis
+/// ground truth.
+struct DpGroupStepTruth {
+  TimeNs dp_begin = 0;
+  TimeNs dp_end = 0;
+
+  [[nodiscard]] DurationNs duration() const { return dp_end - dp_begin; }
+};
+
+/// Kinds of injected performance anomalies.
+enum class AnomalyKind : std::uint8_t {
+  kStraggler,     ///< one rank computes slowly for a step range
+  kSlowDpGroup,   ///< one DP group's collective is slowed (congestion)
+  kDegradedSwitch ///< a switch's bandwidth is cut over a window
+};
+
+/// Label of one injected anomaly; diagnosis benches score alerts against
+/// these.
+struct InjectedAnomaly {
+  AnomalyKind kind{};
+  JobId job;                      ///< affected job (invalid for switch faults)
+  std::uint32_t step_begin = 0;   ///< first affected step (inclusive)
+  std::uint32_t step_end = 0;     ///< last affected step (inclusive)
+  RankId rank;                    ///< straggler only
+  std::uint32_t dp_group_index = 0;  ///< slow-DP-group only
+  SwitchId switch_id;             ///< degraded-switch only
+  double severity = 1.0;          ///< slowdown factor applied
+};
+
+/// Everything the simulator knows about one job.
+struct JobTruth {
+  JobId id;
+  std::vector<GpuId> gpus;  ///< all GPUs of the job, rank order
+  /// True type of every *cross-machine* communication pair.
+  std::unordered_map<GpuPair, CommType> pair_types;
+  /// Global step boundaries (same for every rank; training is synchronous).
+  std::vector<StepTruth> steps;
+  /// dp_group_spans[g][k]: DP span of group g in step k. Group indexing
+  /// follows RankMap::all_dp_groups() order.
+  std::vector<std::vector<DpGroupStepTruth>> dp_group_spans;
+  /// Ring edges of each DP group (cross-machine only), same group order.
+  std::vector<std::vector<GpuPair>> dp_group_edges;
+  /// dp_group_of_rank[r]: index (into the group order above) of rank r's DP
+  /// group. Used to map a GPU to its true per-step DP spans.
+  std::vector<std::size_t> dp_group_of_rank;
+};
+
+}  // namespace llmprism

@@ -1,0 +1,83 @@
+// Configuration of one simulated LLM training job.
+//
+// All timing/volume defaults approximate a mid-size LLM trained with 3D
+// parallelism on a 200 Gb/s RoCE fabric; the analysis algorithms are
+// insensitive to the absolute values — they exploit the *shape* of the
+// traffic (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llmprism/common/time.hpp"
+#include "llmprism/parallelism/config.hpp"
+
+namespace llmprism {
+
+/// A rank that computes slowly over a step range (thermal throttling,
+/// contention, ...). Synchronous training stretches the whole job's step.
+struct StragglerSpec {
+  std::uint32_t rank = 0;
+  std::uint32_t step_begin = 0;  ///< inclusive
+  std::uint32_t step_end = 0;    ///< inclusive
+  double slowdown = 2.0;         ///< compute-time multiplier
+};
+
+/// A DP group whose collective communication is slowed (e.g., a congested
+/// link on its ring) over a step range.
+struct SlowDpGroupSpec {
+  std::uint32_t tp_idx = 0;
+  std::uint32_t pp_idx = 0;
+  std::uint32_t step_begin = 0;
+  std::uint32_t step_end = 0;
+  double slowdown = 2.0;  ///< DP duration multiplier
+};
+
+struct JobSimConfig {
+  ParallelismConfig parallelism;
+  std::uint32_t num_steps = 30;
+  TimeNs start_time = 0;
+
+  // --- compute timing ---
+  DurationNs fwd_micro_batch = 20 * kMillisecond;  ///< fwd per micro-batch/stage
+  DurationNs bwd_micro_batch = 40 * kMillisecond;  ///< bwd per micro-batch/stage
+  DurationNs optimizer_time = 25 * kMillisecond;   ///< post-sync param update
+  double compute_jitter_sigma = 0.01;  ///< lognormal sigma on compute times
+
+  // --- network ---
+  double link_bandwidth_gbps = 200.0;  ///< per-NIC line rate
+  DurationNs net_latency = 10 * kMicrosecond;  ///< per-flow launch latency
+  /// Host-side gap between consecutive collective kernels (bucket-ready
+  /// synchronization, kernel launch). This is what keeps a step's DP
+  /// buckets distinguishable as separate flow records at a timeout-based
+  /// collector — the paper's "DP divides into multiple network flows".
+  DurationNs inter_collective_gap = 2 * kMillisecond;
+
+  // --- pipeline-parallel communication ---
+  /// Activation (== gradient) message size per micro-batch hop. Forward and
+  /// backward tensors have the same shape, hence the same size — the "PP
+  /// flows have consistent sizes" signature Alg. 2 relies on.
+  std::uint64_t pp_message_bytes = 32ull << 20;  // 32 MiB
+
+  // --- data-parallel communication ---
+  std::uint64_t dp_total_bytes = 1ull << 30;  ///< gradient bytes per rank (1 GiB)
+  std::uint32_t dp_buckets = 4;    ///< gradient buckets (uneven sizes)
+  std::uint32_t dp_channels = 2;   ///< concurrent ring channels (NCCL-style)
+  /// Flow-visible rounds per bucket: a ring all-reduce sends 2*(dp-1)
+  /// pipelined chunks per bucket, which the collector sees as several
+  /// staggered equal-size flows rather than one monolith.
+  std::uint32_t dp_rounds_per_bucket = 4;
+  /// Overlap DP buckets with backward compute (DeepSpeed-ZeRO style). The
+  /// last bucket still completes after backward — "each step concludes with
+  /// DP traffic" holds either way.
+  bool zero_overlap = false;
+
+  // --- fault injection (ground-truth labelled) ---
+  std::vector<StragglerSpec> stragglers;
+  std::vector<SlowDpGroupSpec> slow_dp_groups;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace llmprism

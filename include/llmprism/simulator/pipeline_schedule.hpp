@@ -1,0 +1,56 @@
+// 1F1B (one-forward-one-backward) pipeline schedule computation.
+//
+// Produces the start/end time of every forward/backward micro-batch
+// operation on every pipeline stage, honouring
+//  - inter-stage dependencies (fwd(s,m) needs fwd(s-1,m) + transfer;
+//    bwd(s,m) needs bwd(s+1,m) + transfer),
+//  - per-stage serialization in standard non-interleaved 1F1B order
+//    (warmup forwards, steady 1F1B, cooldown backwards).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llmprism/common/time.hpp"
+
+namespace llmprism {
+
+enum class PipeOpKind : std::uint8_t { kForward, kBackward };
+
+struct PipeOp {
+  PipeOpKind kind{};
+  std::uint32_t stage = 0;
+  std::uint32_t micro_batch = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+struct PipelineScheduleInput {
+  std::uint32_t num_stages = 1;
+  std::uint32_t num_micro_batches = 1;
+  /// fwd_time[s][m], bwd_time[s][m]: per-stage, per-micro-batch compute
+  /// durations (jitter/straggle already applied by the caller).
+  std::vector<std::vector<DurationNs>> fwd_time;
+  std::vector<std::vector<DurationNs>> bwd_time;
+  /// Activation/gradient transfer time between adjacent stages.
+  DurationNs transfer_time = 0;
+  TimeNs start_time = 0;
+};
+
+struct PipelineSchedule {
+  /// All ops, grouped per stage in execution order: ops[s] is stage s's
+  /// serialized op sequence.
+  std::vector<std::vector<PipeOp>> ops;
+
+  /// End of the last backward on `stage`.
+  [[nodiscard]] TimeNs backward_done(std::uint32_t stage) const;
+  /// End of the last op anywhere.
+  [[nodiscard]] TimeNs makespan_end() const;
+};
+
+/// Computes the 1F1B schedule. Throws std::invalid_argument on malformed
+/// input (wrong matrix dimensions, zero stages/micro-batches).
+[[nodiscard]] PipelineSchedule compute_1f1b_schedule(
+    const PipelineScheduleInput& input);
+
+}  // namespace llmprism

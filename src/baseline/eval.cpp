@@ -1,0 +1,159 @@
+#include "llmprism/baseline/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace llmprism {
+
+JobRecognitionScore score_job_recognition(const JobRecognitionResult& result,
+                                          std::span<const JobTruth> truth) {
+  JobRecognitionScore score;
+  std::set<std::vector<GpuId>> true_sets;
+  for (const JobTruth& t : truth) {
+    std::vector<GpuId> gpus = t.gpus;
+    std::sort(gpus.begin(), gpus.end());
+    true_sets.insert(std::move(gpus));
+  }
+  score.true_jobs = true_sets.size();
+  score.recognized_jobs = result.jobs.size();
+  for (const RecognizedJob& job : result.jobs) {
+    if (true_sets.count(job.gpus) != 0) {
+      ++score.exact_matches;
+    } else {
+      ++score.merged_or_split;
+    }
+  }
+  return score;
+}
+
+CommTypeScore score_comm_type(std::span<const PairClassification> pairs,
+                              const JobTruth& truth,
+                              bool use_pre_refinement) {
+  std::unordered_map<GpuPair, CommType> observed;
+  observed.reserve(pairs.size());
+  for (const PairClassification& p : pairs) {
+    observed.emplace(p.pair,
+                     use_pre_refinement ? p.pre_refinement_type : p.type);
+  }
+  return score_comm_type_map(observed, truth);
+}
+
+CommTypeScore score_comm_type_map(
+    const std::unordered_map<GpuPair, CommType>& types,
+    const JobTruth& truth) {
+  CommTypeScore score;
+  for (const auto& [pair, true_type] : truth.pair_types) {
+    const auto it = types.find(pair);
+    if (it == types.end()) {
+      ++score.missing_pairs;
+      continue;
+    }
+    ++score.total_pairs;
+    if (it->second == true_type) {
+      ++score.correct;
+    } else if (true_type == CommType::kDP) {
+      ++score.dp_as_pp;
+    } else {
+      ++score.pp_as_dp;
+    }
+  }
+  return score;
+}
+
+TimelineScore score_timelines(std::span<const GpuTimeline> timelines,
+                              const JobTruth& truth) {
+  TimelineScore score;
+  double duration_error_sum = 0.0;
+  double boundary_offset_sum = 0.0;
+  std::size_t duration_samples = 0;
+  std::size_t boundary_samples = 0;
+
+  // GPU -> rank within the job.
+  std::unordered_map<GpuId, std::size_t> rank_of;
+  for (std::size_t r = 0; r < truth.gpus.size(); ++r) {
+    rank_of.emplace(truth.gpus[r], r);
+  }
+
+  for (const GpuTimeline& timeline : timelines) {
+    const auto rit = rank_of.find(timeline.gpu);
+    if (rit == rank_of.end()) continue;
+    const std::size_t group = truth.dp_group_of_rank[rit->second];
+    if (group >= truth.dp_group_spans.size()) continue;
+    const auto& spans = truth.dp_group_spans[group];
+    if (spans.empty() || timeline.steps.empty()) continue;
+    ++score.ranks_scored;
+    score.steps_true_total += spans.size();
+    score.steps_reconstructed_total += timeline.steps.size();
+
+    // Match each truth boundary (per-step dp_end of the rank's group) to
+    // the nearest reconstructed step end within half the true step period.
+    std::vector<TimeNs> recon_ends;
+    recon_ends.reserve(timeline.steps.size());
+    for (const ReconstructedStep& s : timeline.steps) {
+      recon_ends.push_back(s.end);
+    }
+    const DurationNs tolerance =
+        spans.size() > 1
+            ? (spans.back().dp_end - spans.front().dp_end) /
+                  static_cast<DurationNs>(2 * (spans.size() - 1))
+            : kSecond;
+
+    std::vector<std::ptrdiff_t> match(spans.size(), -1);
+    for (std::size_t k = 0; k < spans.size(); ++k) {
+      const TimeNs target = spans[k].dp_end;
+      const auto it =
+          std::lower_bound(recon_ends.begin(), recon_ends.end(), target);
+      TimeNs best_gap = std::numeric_limits<TimeNs>::max();
+      std::ptrdiff_t best = -1;
+      if (it != recon_ends.end()) {
+        best_gap = *it - target;
+        best = it - recon_ends.begin();
+      }
+      if (it != recon_ends.begin()) {
+        const TimeNs gap = target - *(it - 1);
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = it - recon_ends.begin() - 1;
+        }
+      }
+      if (best >= 0 && best_gap <= tolerance) {
+        match[k] = best;
+        ++score.steps_matched;
+        boundary_offset_sum += std::abs(to_seconds(recon_ends[
+                                            static_cast<std::size_t>(best)] -
+                                        target));
+        ++boundary_samples;
+      }
+    }
+
+    // Relative duration error between consecutive matched boundaries.
+    for (std::size_t k = 1; k < spans.size(); ++k) {
+      if (match[k] < 0 || match[k - 1] < 0 || match[k] == match[k - 1]) {
+        continue;
+      }
+      const double true_dur =
+          to_seconds(spans[k].dp_end - spans[k - 1].dp_end);
+      const double recon_dur =
+          to_seconds(recon_ends[static_cast<std::size_t>(match[k])] -
+                     recon_ends[static_cast<std::size_t>(match[k - 1])]);
+      if (true_dur <= 0.0) continue;
+      const double err = std::abs(recon_dur - true_dur) / true_dur;
+      duration_error_sum += err;
+      score.max_duration_error = std::max(score.max_duration_error, err);
+      ++duration_samples;
+    }
+  }
+
+  if (duration_samples > 0) {
+    score.mean_duration_error =
+        duration_error_sum / static_cast<double>(duration_samples);
+  }
+  if (boundary_samples > 0) {
+    score.mean_boundary_offset_s =
+        boundary_offset_sum / static_cast<double>(boundary_samples);
+  }
+  return score;
+}
+
+}  // namespace llmprism

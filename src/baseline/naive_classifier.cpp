@@ -1,0 +1,53 @@
+#include "llmprism/baseline/naive_classifier.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace llmprism {
+
+std::unordered_map<GpuPair, CommType> classify_by_global_distinct_sizes(
+    const FlowTrace& job_trace, const GlobalDistinctSizeConfig& config) {
+  std::unordered_map<GpuPair, std::vector<std::uint64_t>> sizes;
+  for (const FlowRecord& f : job_trace) sizes[f.pair()].push_back(f.bytes);
+
+  std::unordered_map<GpuPair, CommType> out;
+  out.reserve(sizes.size());
+  for (auto& [pair, s] : sizes) {
+    std::sort(s.begin(), s.end());
+    std::size_t distinct = 1;
+    std::uint64_t base = s.front();
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (static_cast<double>(s[i]) >
+          static_cast<double>(base) * (1.0 + config.size_tolerance)) {
+        ++distinct;
+        base = s[i];
+      }
+    }
+    out.emplace(pair, distinct > 1 ? CommType::kDP : CommType::kPP);
+  }
+  return out;
+}
+
+std::unordered_map<GpuPair, CommType> classify_by_volume_threshold(
+    const FlowTrace& job_trace, const VolumeThresholdConfig& config) {
+  struct Acc {
+    std::uint64_t bytes = 0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<GpuPair, Acc> acc;
+  for (const FlowRecord& f : job_trace) {
+    Acc& a = acc[f.pair()];
+    a.bytes += f.bytes;
+    ++a.count;
+  }
+  std::unordered_map<GpuPair, CommType> out;
+  out.reserve(acc.size());
+  for (const auto& [pair, a] : acc) {
+    const std::uint64_t mean = a.bytes / a.count;
+    out.emplace(pair, mean > config.dp_threshold_bytes ? CommType::kDP
+                                                       : CommType::kPP);
+  }
+  return out;
+}
+
+}  // namespace llmprism

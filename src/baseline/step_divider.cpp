@@ -1,0 +1,39 @@
+#include "llmprism/baseline/step_divider.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmprism {
+
+std::vector<std::size_t> segment_by_threshold(
+    std::span<const TimeNs> timestamps,
+    const ThresholdDividerConfig& config) {
+  std::vector<std::size_t> starts;
+  if (timestamps.empty()) return starts;
+  starts.push_back(0);
+  if (timestamps.size() == 1) return starts;
+  if (!std::is_sorted(timestamps.begin(), timestamps.end())) {
+    throw std::invalid_argument(
+        "segment_by_threshold: timestamps must be sorted");
+  }
+
+  std::vector<DurationNs> intervals;
+  intervals.reserve(timestamps.size() - 1);
+  for (std::size_t i = 0; i + 1 < timestamps.size(); ++i) {
+    intervals.push_back(timestamps[i + 1] - timestamps[i]);
+  }
+  std::vector<DurationNs> sorted = intervals;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = static_cast<double>(sorted[sorted.size() / 2]);
+  const double threshold = std::max(1.0, median * config.factor);
+
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (static_cast<double>(intervals[i]) > threshold) {
+      starts.push_back(i + 1);
+    }
+  }
+  return starts;
+}
+
+}  // namespace llmprism

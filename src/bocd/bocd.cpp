@@ -1,0 +1,244 @@
+#include "llmprism/bocd/bocd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmprism {
+
+namespace {
+
+/// log pdf of a Student-t with nu degrees of freedom, location mu and
+/// scale^2 = s2, evaluated at x.
+double log_student_t(double x, double nu, double mu, double s2) {
+  const double d = x - mu;
+  return std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0) -
+         0.5 * std::log(nu * M_PI * s2) -
+         (nu + 1.0) / 2.0 * std::log1p(d * d / (nu * s2));
+}
+
+}  // namespace
+
+BocdDetector::BocdDetector(BocdConfig config) : config_(config) {
+  if (config_.hazard_lambda <= 1.0) {
+    throw std::invalid_argument("bocd: hazard_lambda must be > 1");
+  }
+  if (config_.changepoint_threshold <= 0.0 ||
+      config_.changepoint_threshold >= 1.0) {
+    throw std::invalid_argument("bocd: threshold must be in (0, 1)");
+  }
+  if (config_.prior_kappa <= 0.0 || config_.prior_alpha <= 0.0 ||
+      config_.prior_beta <= 0.0) {
+    throw std::invalid_argument("bocd: prior parameters must be positive");
+  }
+  reset();
+}
+
+void BocdDetector::reset() {
+  components_.clear();
+  RunComponent prior;
+  prior.run_length = 0;
+  prior.probability = 1.0;
+  prior.mean = config_.prior_mean;
+  prior.kappa = config_.prior_kappa;
+  prior.alpha = config_.prior_alpha;
+  prior.beta = config_.prior_beta;
+  components_.push_back(prior);
+  last_cp_probability_ = 0.0;
+  last_recent_probability_ = 0.0;
+  t_ = 0;
+}
+
+double BocdDetector::log_predictive(const RunComponent& c, double x) const {
+  // Posterior predictive of the Normal-Inverse-Gamma model: Student-t with
+  // nu = 2*alpha, location mean, scale^2 = beta*(kappa+1)/(alpha*kappa).
+  const double nu = 2.0 * c.alpha;
+  const double s2 = c.beta * (c.kappa + 1.0) / (c.alpha * c.kappa);
+  return log_student_t(x, nu, c.mean, s2);
+}
+
+double BocdDetector::observe(double x) {
+  const double hazard = 1.0 / config_.hazard_lambda;
+
+  // r_t = 0 means x is the *first* observation of a new run, so the
+  // changepoint branch scores x under the prior predictive (reset
+  // likelihood). Using the old run's predictive there instead would make
+  // P(r_t = 0) identically equal to the hazard — useless for detection.
+  RunComponent prior;
+  prior.mean = config_.prior_mean;
+  prior.kappa = config_.prior_kappa;
+  prior.alpha = config_.prior_alpha;
+  prior.beta = config_.prior_beta;
+  const double cp_mass = std::exp(log_predictive(prior, x)) * hazard;
+
+  // Growth branch: each run hypothesis absorbs x.
+  std::vector<RunComponent> grown;
+  grown.reserve(components_.size() + 1);
+  for (const RunComponent& c : components_) {
+    const double pred = std::exp(log_predictive(c, x));
+    RunComponent g = c;
+    g.run_length = c.run_length + 1;
+    g.probability = c.probability * pred * (1.0 - hazard);
+    // Conjugate posterior update with observation x.
+    g.mean = (c.kappa * c.mean + x) / (c.kappa + 1.0);
+    g.kappa = c.kappa + 1.0;
+    g.alpha = c.alpha + 0.5;
+    g.beta = c.beta + c.kappa * (x - c.mean) * (x - c.mean) /
+                          (2.0 * (c.kappa + 1.0));
+    grown.push_back(g);
+  }
+
+  // The fresh run-length-0 hypothesis keeps the pure prior: the triggering
+  // observation is treated as a boundary artefact (a step gap), not as the
+  // first sample of the new regime. Absorbing it would poison every
+  // post-boundary run with the gap value and mask subsequent boundaries.
+  RunComponent fresh = prior;
+  fresh.run_length = 0;
+  fresh.probability = cp_mass;
+
+  double total = cp_mass;
+  for (const RunComponent& g : grown) total += g.probability;
+
+  components_.clear();
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    // All hypotheses assign (numerically) zero likelihood: treat as a hard
+    // changepoint and restart from the prior.
+    fresh.probability = 1.0;
+    components_.push_back(fresh);
+    last_cp_probability_ = 1.0;
+    last_recent_probability_ = 1.0;
+    ++t_;
+    return last_cp_probability_;
+  }
+
+  fresh.probability = cp_mass / total;
+  components_.push_back(fresh);
+  for (RunComponent& g : grown) {
+    g.probability /= total;
+    if (g.probability >= config_.prune_mass &&
+        g.run_length < config_.max_run_length) {
+      components_.push_back(g);
+    }
+  }
+
+  // Top-N truncation (the fresh hypothesis at index 0 is always kept).
+  if (components_.size() > config_.max_components) {
+    const auto keep = static_cast<std::ptrdiff_t>(config_.max_components);
+    std::nth_element(components_.begin() + 1, components_.begin() + keep,
+                     components_.end(),
+                     [](const RunComponent& a, const RunComponent& b) {
+                       return a.probability > b.probability;
+                     });
+    components_.resize(config_.max_components);
+  }
+
+  // Renormalize after pruning so probabilities stay a distribution.
+  double kept = 0.0;
+  for (const RunComponent& c : components_) kept += c.probability;
+  for (RunComponent& c : components_) c.probability /= kept;
+
+  last_cp_probability_ = components_.front().probability;
+  last_recent_probability_ = 0.0;
+  for (const RunComponent& c : components_) {
+    if (c.run_length <= config_.recent_run_cap) {
+      last_recent_probability_ += c.probability;
+    }
+  }
+  ++t_;
+  return last_cp_probability_;
+}
+
+std::size_t BocdDetector::map_run_length() const {
+  std::size_t best = 0;
+  double best_p = -1.0;
+  for (const RunComponent& c : components_) {
+    if (c.probability > best_p) {
+      best_p = c.probability;
+      best = c.run_length;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> detect_changepoints(std::span<const double> xs,
+                                             const BocdConfig& config) {
+  BocdDetector detector(config);
+  std::vector<std::size_t> changepoints;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    detector.observe(xs[i]);
+    if (detector.last_was_changepoint()) changepoints.push_back(i);
+  }
+  return changepoints;
+}
+
+std::vector<std::size_t> segment_by_gaps(std::span<const TimeNs> timestamps,
+                                         const SegmenterConfig& config) {
+  std::vector<std::size_t> starts;
+  if (timestamps.empty()) return starts;
+  starts.push_back(0);
+  if (timestamps.size() == 1) return starts;
+  if (!std::is_sorted(timestamps.begin(), timestamps.end())) {
+    throw std::invalid_argument("segment_by_gaps: timestamps must be sorted");
+  }
+
+  // Coalesce near-simultaneous arrivals; `groups[k]` is the original index
+  // of the first timestamp in coalesced group k.
+  std::vector<std::size_t> groups{0};
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    if (timestamps[i] - timestamps[groups.back()] > config.coalesce_gap) {
+      groups.push_back(i);
+    }
+  }
+  if (groups.size() < 2) return starts;  // everything is one burst
+
+  std::vector<double> log_intervals;
+  log_intervals.reserve(groups.size() - 1);
+  for (std::size_t k = 0; k + 1 < groups.size(); ++k) {
+    const double dt = static_cast<double>(timestamps[groups[k + 1]] -
+                                          timestamps[groups[k]]) +
+                      1.0;
+    log_intervals.push_back(std::log(dt));
+  }
+
+  // Center the prior on the typical interval: the fresh-run predictive is
+  // then broad around normal traffic, while the learned run components are
+  // tight — a step gap is unlikely under both, but far *less* unlikely
+  // under the prior, which is what trips P(r = 0).
+  BocdConfig cfg = config.bocd;
+  std::vector<double> sorted = log_intervals;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  cfg.prior_mean = sorted[sorted.size() / 2];
+
+  BocdDetector detector(cfg);
+  const double guard =
+      cfg.prior_mean + std::log(std::max(1.0, config.gap_guard_factor));
+  bool prev_flagged = false;
+  for (std::size_t i = 0; i < log_intervals.size(); ++i) {
+    detector.observe(log_intervals[i]);
+    // Changepoint at interval i: a new segment begins at coalesced group
+    // i + 1, i.e. original element groups[i + 1].
+    //
+    // Two equivalent read-outs of the run-length posterior back the
+    // decision: the recent-run mass crossing the threshold, or the MAP run
+    // length collapsing to "just restarted" (the classic BOCD changepoint
+    // extraction — it stays decisive even when an earlier missed boundary
+    // has inflated the surviving run's variance and made the mass
+    // marginal). Either way the flagged interval must itself be a gap
+    // (magnitude guard), and only rising edges open a segment because the
+    // posterior legitimately stays "young" for a few observations after a
+    // boundary.
+    const bool posterior_says_cp =
+        detector.last_was_changepoint() ||
+        (detector.observations_seen() > cfg.recent_run_cap + 1 &&
+         detector.map_run_length() <= cfg.recent_run_cap);
+    const bool flagged = posterior_says_cp && log_intervals[i] > guard;
+    if (flagged && !prev_flagged) {
+      starts.push_back(groups[i + 1]);
+    }
+    prev_flagged = flagged;
+  }
+  return starts;
+}
+
+}  // namespace llmprism

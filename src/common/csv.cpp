@@ -1,0 +1,76 @@
+#include "llmprism/common/csv.hpp"
+
+#include <stdexcept>
+
+namespace llmprism::csv {
+
+std::vector<std::string> parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error("csv: unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_field(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"") != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_row(std::ostream& os, std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os << ',';
+    os << escape_field(fields[i]);
+  }
+  os << '\n';
+}
+
+std::vector<std::vector<std::string>> read_all(std::istream& is) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_line(line));
+  }
+  return rows;
+}
+
+}  // namespace llmprism::csv

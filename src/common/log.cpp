@@ -1,0 +1,41 @@
+#include "llmprism/common/log.hpp"
+
+#include <atomic>
+
+namespace llmprism::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level get_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(Level level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[llmprism:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace llmprism::log

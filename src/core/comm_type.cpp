@@ -1,0 +1,225 @@
+#include "llmprism/core/comm_type.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "llmprism/common/stats.hpp"
+
+namespace llmprism {
+
+namespace {
+
+/// Iterative DFS collecting the connected component of `start` in an
+/// adjacency-list graph.
+std::vector<std::size_t> dfs_component(
+    std::size_t start, const std::vector<std::vector<std::size_t>>& adj,
+    std::vector<bool>& visited) {
+  std::vector<std::size_t> component;
+  std::vector<std::size_t> stack{start};
+  visited[start] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    component.push_back(u);
+    for (const std::size_t v : adj[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace
+
+std::unordered_map<GpuPair, CommType> CommTypeResult::types() const {
+  std::unordered_map<GpuPair, CommType> out;
+  out.reserve(pairs.size());
+  for (const PairClassification& p : pairs) out.emplace(p.pair, p.type);
+  return out;
+}
+
+CommTypeIdentifier::CommTypeIdentifier(CommTypeConfig config)
+    : config_(config) {
+  if (config_.size_tolerance < 0.0 || config_.size_tolerance >= 1.0) {
+    throw std::invalid_argument(
+        "comm type: size_tolerance must be in [0, 1)");
+  }
+}
+
+std::size_t CommTypeIdentifier::count_distinct_sizes(
+    std::vector<std::uint64_t> sizes) const {
+  if (sizes.empty()) return 0;
+  std::sort(sizes.begin(), sizes.end());
+  std::size_t distinct = 1;
+  std::uint64_t cluster_base = sizes.front();
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    const double limit =
+        static_cast<double>(cluster_base) * (1.0 + config_.size_tolerance);
+    if (static_cast<double>(sizes[i]) > limit) {
+      ++distinct;
+      cluster_base = sizes[i];
+    }
+  }
+  return distinct;
+}
+
+CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
+  CommTypeResult result;
+  const auto pair_index = build_pair_index(job_trace);
+
+  // ---- per-pair classification (Alg. 2 lines 2-12) ----
+  for (const auto& [pair, flow_idxs] : pair_index) {
+    PairClassification pc;
+    pc.pair = pair;
+    pc.num_flows = flow_idxs.size();
+
+    // (1)+(2) step division via BOCD over inter-flow intervals.
+    std::vector<TimeNs> timestamps;
+    timestamps.reserve(flow_idxs.size());
+    for (const std::size_t i : flow_idxs) {
+      timestamps.push_back(job_trace[i].start_time);
+    }
+    if (!std::is_sorted(timestamps.begin(), timestamps.end())) {
+      std::sort(timestamps.begin(), timestamps.end());
+    }
+    // Sort flow indices by time too so segments map back to sizes.
+    std::vector<std::size_t> ordered = flow_idxs;
+    std::sort(ordered.begin(), ordered.end(),
+              [&](std::size_t a, std::size_t b) {
+                return job_trace[a].start_time < job_trace[b].start_time;
+              });
+
+    const auto segment_starts = segment_by_gaps(timestamps, config_.segmenter);
+    pc.num_steps_observed = segment_starts.size();
+
+    // Pair-level size clusters with tolerance merging; clusters carrying
+    // less than min_size_share of the pair's flows are collector artifacts
+    // (partial records) and are ignored below — see CommTypeConfig.
+    struct SizeCluster {
+      std::uint64_t base;
+      std::uint64_t max;
+      std::size_t count = 0;
+      bool kept = true;
+    };
+    std::vector<SizeCluster> clusters;
+    {
+      std::vector<std::uint64_t> sizes;
+      sizes.reserve(ordered.size());
+      for (const std::size_t i : ordered) {
+        sizes.push_back(job_trace[i].bytes);
+      }
+      std::sort(sizes.begin(), sizes.end());
+      for (const std::uint64_t s : sizes) {
+        if (clusters.empty() ||
+            static_cast<double>(s) >
+                static_cast<double>(clusters.back().base) *
+                    (1.0 + config_.size_tolerance)) {
+          clusters.push_back({s, s, 1, true});
+        } else {
+          clusters.back().max = s;
+          ++clusters.back().count;
+        }
+      }
+      const double min_count =
+          config_.min_size_share * static_cast<double>(sizes.size());
+      for (SizeCluster& c : clusters) {
+        c.kept = static_cast<double>(c.count) >= min_count;
+      }
+    }
+    const auto cluster_of = [&](std::uint64_t size) -> std::size_t {
+      // Last cluster whose base <= size; sizes were all in the build set.
+      const auto it = std::upper_bound(
+          clusters.begin(), clusters.end(), size,
+          [](std::uint64_t s, const SizeCluster& c) { return s < c.base; });
+      return static_cast<std::size_t>(it - clusters.begin()) - 1;
+    };
+
+    // (3) distinct (non-artifact) flow sizes per step; Mode over steps.
+    std::vector<std::int64_t> distinct_per_step;
+    distinct_per_step.reserve(segment_starts.size());
+    std::unordered_set<std::size_t> seen_clusters;
+    for (std::size_t s = 0; s < segment_starts.size(); ++s) {
+      const std::size_t seg_begin = segment_starts[s];
+      const std::size_t seg_end = s + 1 < segment_starts.size()
+                                      ? segment_starts[s + 1]
+                                      : ordered.size();
+      seen_clusters.clear();
+      for (std::size_t i = seg_begin; i < seg_end; ++i) {
+        const std::size_t c = cluster_of(job_trace[ordered[i]].bytes);
+        if (clusters[c].kept) seen_clusters.insert(c);
+      }
+      // A segment of pure artifacts carries no size evidence: skip it.
+      if (!seen_clusters.empty()) {
+        distinct_per_step.push_back(
+            static_cast<std::int64_t>(seen_clusters.size()));
+      }
+    }
+    const std::int64_t mode_distinct =
+        distinct_per_step.empty() ? 1 : stats::mode(distinct_per_step);
+    pc.pre_refinement_type =
+        mode_distinct == 1 ? CommType::kPP : CommType::kDP;
+    pc.type = pc.pre_refinement_type;
+    result.pairs.push_back(std::move(pc));
+  }
+
+  // ---- DP graph + DFS components (Alg. 2 lines 13-16) ----
+  // Built from pre-refinement DP edges; flipping PP->DP inside a component
+  // never changes connectivity, so components are final.
+  std::unordered_map<GpuId, std::size_t> node_index;
+  std::vector<GpuId> nodes;
+  auto intern = [&](GpuId g) {
+    const auto [it, inserted] = node_index.emplace(g, nodes.size());
+    if (inserted) nodes.push_back(g);
+    return it->second;
+  };
+  for (const PairClassification& p : result.pairs) {
+    intern(p.pair.first);
+    intern(p.pair.second);
+  }
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (const PairClassification& p : result.pairs) {
+    if (p.pre_refinement_type != CommType::kDP) continue;
+    const std::size_t u = node_index.at(p.pair.first);
+    const std::size_t v = node_index.at(p.pair.second);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<std::size_t> component_of(nodes.size(), SIZE_MAX);
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (visited[n] || adj[n].empty()) continue;
+    const auto comp = dfs_component(n, adj, visited);
+    std::vector<GpuId> gpus;
+    gpus.reserve(comp.size());
+    for (const std::size_t idx : comp) {
+      component_of[idx] = result.dp_components.size();
+      gpus.push_back(nodes[idx]);
+    }
+    std::sort(gpus.begin(), gpus.end());
+    result.dp_components.push_back(std::move(gpus));
+  }
+
+  if (config_.refine) {
+    for (PairClassification& p : result.pairs) {
+      if (p.type != CommType::kPP) continue;
+      const std::size_t cu = component_of[node_index.at(p.pair.first)];
+      const std::size_t cv = component_of[node_index.at(p.pair.second)];
+      if (cu != SIZE_MAX && cu == cv) p.type = CommType::kDP;
+    }
+  }
+
+  // Deterministic output order.
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const PairClassification& a, const PairClassification& b) {
+              return a.pair < b.pair;
+            });
+  std::sort(result.dp_components.begin(), result.dp_components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return result;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,422 @@
+#include "llmprism/core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "llmprism/common/stats.hpp"
+
+namespace llmprism {
+
+namespace {
+
+/// Consistency factor making the MAD estimate sigma for Gaussian data.
+constexpr double kMadToSigma = 1.4826;
+
+/// Reference statistics for scoring point i: either global or of all
+/// points except i (leave-one-out).
+struct Reference {
+  double mean;   ///< center (mean, or median in kMad mode)
+  double sigma;  ///< dispersion on the sigma scale
+};
+
+Reference global_reference(std::span<const double> xs, Dispersion d) {
+  if (d == Dispersion::kStddev) return {stats::mean(xs), stats::stddev(xs)};
+  return {stats::median(xs), kMadToSigma * stats::median_abs_deviation(xs)};
+}
+
+class ReferenceComputer {
+ public:
+  ReferenceComputer(std::span<const double> xs, const KSigmaConfig& config)
+      : xs_(xs), config_(config) {
+    if (!config.leave_one_out) {
+      global_ = global_reference(xs, config.dispersion);
+    } else if (config.dispersion == Dispersion::kStddev) {
+      for (const double x : xs_) {
+        sum_ += x;
+        sum_sq_ += x * x;
+      }
+    }
+  }
+
+  [[nodiscard]] Reference at(std::size_t i) const {
+    if (!config_.leave_one_out) return global_;
+    const auto n = static_cast<double>(xs_.size() - 1);
+    if (config_.dispersion == Dispersion::kStddev) {
+      const double mean = (sum_ - xs_[i]) / n;
+      const double var =
+          std::max(0.0, (sum_sq_ - xs_[i] * xs_[i]) / n - mean * mean);
+      return {mean, std::sqrt(var)};
+    }
+    // Robust leave-one-out: materialize the others (series are short in
+    // the places this mode is used).
+    std::vector<double> others;
+    others.reserve(xs_.size() - 1);
+    for (std::size_t j = 0; j < xs_.size(); ++j) {
+      if (j != i) others.push_back(xs_[j]);
+    }
+    return global_reference(others, Dispersion::kMad);
+  }
+
+ private:
+  std::span<const double> xs_;
+  const KSigmaConfig& config_;
+  Reference global_{};
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<std::size_t> ksigma_outliers_above(std::span<const double> xs,
+                                               const KSigmaConfig& config) {
+  std::vector<std::size_t> out;
+  if (xs.size() < config.min_samples) return out;
+  const ReferenceComputer refs(xs, config);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Reference r = refs.at(i);
+    if (xs[i] > r.mean + config.k * r.sigma &&
+        xs[i] > r.mean * (1.0 + config.min_relative_excess)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> ksigma_outliers_below(std::span<const double> xs,
+                                               const KSigmaConfig& config) {
+  std::vector<std::size_t> out;
+  if (xs.size() < config.min_samples) return out;
+  const ReferenceComputer refs(xs, config);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Reference r = refs.at(i);
+    if (xs[i] < r.mean - config.k * r.sigma &&
+        xs[i] < r.mean * (1.0 - config.min_relative_excess)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Diagnoser::Diagnoser(DiagnosisConfig config) : config_(config) {}
+
+std::vector<StepAlert> Diagnoser::cross_step(
+    const GpuTimeline& timeline) const {
+  std::vector<StepAlert> alerts;
+  // Step 0 has no preceding DP burst, so its reconstructed duration is a
+  // window artefact — exclude it from the series.
+  if (timeline.steps.size() < 2) return alerts;
+  std::vector<double> durations;
+  durations.reserve(timeline.steps.size() - 1);
+  for (std::size_t i = 1; i < timeline.steps.size(); ++i) {
+    durations.push_back(to_seconds(timeline.steps[i].duration()));
+  }
+  const ReferenceComputer refs(durations, config_.ksigma);
+  for (const std::size_t i :
+       ksigma_outliers_above(durations, config_.ksigma)) {
+    const Reference r = refs.at(i);
+    StepAlert a;
+    a.gpu = timeline.gpu;
+    a.step_index = timeline.steps[i + 1].index;
+    a.duration_s = durations[i];
+    a.mean_s = r.mean;
+    a.threshold_s = r.mean + config_.ksigma.k * r.sigma;
+    alerts.push_back(a);
+  }
+  return alerts;
+}
+
+std::vector<StepAlert> Diagnoser::cross_step(
+    std::span<const GpuTimeline> timelines) const {
+  std::vector<StepAlert> alerts;
+  for (const GpuTimeline& t : timelines) {
+    const auto a = cross_step(t);
+    alerts.insert(alerts.end(), a.begin(), a.end());
+  }
+  return alerts;
+}
+
+std::vector<GroupAlert> Diagnoser::cross_group(
+    const std::vector<std::vector<double>>& group_step_durations) const {
+  std::vector<GroupAlert> alerts;
+  std::size_t max_steps = 0;
+  for (const auto& row : group_step_durations) {
+    max_steps = std::max(max_steps, row.size());
+  }
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    std::vector<double> durations;
+    std::vector<std::size_t> group_idx;
+    for (std::size_t g = 0; g < group_step_durations.size(); ++g) {
+      if (step < group_step_durations[g].size()) {
+        durations.push_back(group_step_durations[g][step]);
+        group_idx.push_back(g);
+      }
+    }
+    const ReferenceComputer refs(durations, config_.ksigma);
+    for (const std::size_t i :
+         ksigma_outliers_above(durations, config_.ksigma)) {
+      const Reference r = refs.at(i);
+      GroupAlert a;
+      a.group_index = group_idx[i];
+      a.step_index = step;
+      a.duration_s = durations[i];
+      a.mean_s = r.mean;
+      a.threshold_s = r.mean + config_.ksigma.k * r.sigma;
+      alerts.push_back(a);
+    }
+  }
+  return alerts;
+}
+
+std::vector<std::pair<SwitchId, double>> Diagnoser::per_switch_bandwidth(
+    const FlowTrace& dp_flows) {
+  struct Acc {
+    double bandwidth_sum = 0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<SwitchId, Acc> acc;
+  for (const FlowRecord& f : dp_flows) {
+    if (f.duration <= 0) continue;
+    for (const SwitchId sw : f.switches) {
+      Acc& a = acc[sw];
+      a.bandwidth_sum += f.bandwidth_gbps();
+      ++a.count;
+    }
+  }
+  std::vector<std::pair<SwitchId, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [sw, a] : acc) {
+    out.emplace_back(sw, a.bandwidth_sum / static_cast<double>(a.count));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<SwitchId, double>>
+Diagnoser::per_switch_bandwidth_percentile(const FlowTrace& dp_flows,
+                                           double p) {
+  std::unordered_map<SwitchId, std::vector<double>> samples;
+  for (const FlowRecord& f : dp_flows) {
+    if (f.duration <= 0) continue;
+    for (const SwitchId sw : f.switches) {
+      samples[sw].push_back(f.bandwidth_gbps());
+    }
+  }
+  std::vector<std::pair<SwitchId, double>> out;
+  out.reserve(samples.size());
+  for (const auto& [sw, values] : samples) {
+    out.emplace_back(sw, stats::percentile(values, p));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
+    const FlowTrace& dp_flows) const {
+  const auto per_switch = per_switch_bandwidth_percentile(
+      dp_flows, config_.switch_health_percentile);
+  std::vector<double> values;
+  values.reserve(per_switch.size());
+  for (const auto& [sw, bw] : per_switch) values.push_back(bw);
+
+  const ReferenceComputer refs(values, config_.switch_ksigma);
+  std::vector<SwitchBandwidthAlert> alerts;
+  for (const std::size_t i :
+       ksigma_outliers_below(values, config_.switch_ksigma)) {
+    const Reference r = refs.at(i);
+    SwitchBandwidthAlert a;
+    a.switch_id = per_switch[i].first;
+    a.bandwidth_gbps = values[i];
+    a.mean_gbps = r.mean;
+    a.threshold_gbps = r.mean - config_.switch_ksigma.k * r.sigma;
+    alerts.push_back(a);
+  }
+  return alerts;
+}
+
+std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
+    const FlowTrace& dp_flows) const {
+  // Sweep line per switch: +1 at flow start, -1 at flow end.
+  struct Event {
+    TimeNs at;
+    int delta;
+  };
+  std::unordered_map<SwitchId, std::vector<Event>> events;
+  for (const FlowRecord& f : dp_flows) {
+    for (const SwitchId sw : f.switches) {
+      events[sw].push_back({f.start_time, +1});
+      events[sw].push_back({f.end_time(), -1});
+    }
+  }
+  std::vector<SwitchConcurrencyAlert> alerts;
+  for (auto& [sw, evs] : events) {
+    std::sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at < b.at;
+      return a.delta < b.delta;  // process ends before starts at ties
+    });
+    std::size_t current = 0;
+    std::size_t peak = 0;
+    TimeNs peak_at = 0;
+    for (const Event& e : evs) {
+      if (e.delta > 0) {
+        ++current;
+        if (current > peak) {
+          peak = current;
+          peak_at = e.at;
+        }
+      } else {
+        --current;
+      }
+    }
+    if (peak > config_.switch_dp_flow_limit) {
+      SwitchConcurrencyAlert a;
+      a.switch_id = sw;
+      a.at = peak_at;
+      a.concurrent_flows = peak;
+      a.limit = config_.switch_dp_flow_limit;
+      alerts.push_back(a);
+    }
+  }
+  std::sort(alerts.begin(), alerts.end(),
+            [](const SwitchConcurrencyAlert& a,
+               const SwitchConcurrencyAlert& b) {
+              return a.switch_id < b.switch_id;
+            });
+  return alerts;
+}
+
+std::vector<SwitchBandwidthSeries> switch_bandwidth_timeline(
+    const FlowTrace& dp_flows, DurationNs bucket) {
+  if (bucket <= 0) {
+    throw std::invalid_argument("switch timeline: bucket must be positive");
+  }
+  struct Acc {
+    double sum = 0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<SwitchId, std::map<TimeNs, Acc>> acc;
+  for (const FlowRecord& f : dp_flows) {
+    if (f.duration <= 0) continue;
+    const TimeNs begin = f.start_time - (((f.start_time % bucket) + bucket) %
+                                         bucket);  // floor to bucket
+    for (const SwitchId sw : f.switches) {
+      Acc& a = acc[sw][begin];
+      a.sum += f.bandwidth_gbps();
+      ++a.count;
+    }
+  }
+  std::vector<SwitchBandwidthSeries> out;
+  out.reserve(acc.size());
+  for (auto& [sw, buckets] : acc) {
+    SwitchBandwidthSeries series;
+    series.switch_id = sw;
+    for (const auto& [begin, a] : buckets) {
+      series.bucket_begin.push_back(begin);
+      series.gbps.push_back(a.sum / static_cast<double>(a.count));
+    }
+    out.push_back(std::move(series));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SwitchBandwidthSeries& a, const SwitchBandwidthSeries& b) {
+              return a.switch_id < b.switch_id;
+            });
+  return out;
+}
+
+std::vector<BandwidthOnset> detect_bandwidth_onsets(
+    std::span<const SwitchBandwidthSeries> series,
+    const OnsetDetectorConfig& config) {
+  std::vector<BandwidthOnset> onsets;
+  for (const SwitchBandwidthSeries& s : series) {
+    if (s.gbps.size() < config.min_buckets) continue;
+    // Normalize by the series median so a single detector configuration
+    // serves every link speed.
+    const double scale = std::max(1e-9, stats::median(s.gbps));
+    std::vector<double> normalized;
+    normalized.reserve(s.gbps.size());
+    for (const double g : s.gbps) normalized.push_back(g / scale);
+
+    // Empirical-Bayes prior scale: bandwidth series are orders of magnitude
+    // tighter (relative noise ~1%) than the unit-scale default prior, which
+    // would otherwise floor the run predictive so wide that even a huge
+    // level shift stays "within run". Estimate the within-regime noise from
+    // the MAD of first differences (robust to the level shift itself, and
+    // unlike the plain MAD also to a balanced bimodal series) and aim the
+    // prior predictive at ~10x it.
+    std::vector<double> diffs;
+    diffs.reserve(normalized.size());
+    for (std::size_t i = 1; i < normalized.size(); ++i) {
+      diffs.push_back(std::abs(normalized[i] - normalized[i - 1]));
+    }
+    const double s_data = std::max(
+        1.4826 * stats::median(diffs) / std::sqrt(2.0), 0.005);
+    BocdConfig cfg = config.bocd;
+    cfg.prior_mean = 1.0;
+    const double target_scale = 10.0 * s_data;
+    cfg.prior_beta = target_scale * target_scale * cfg.prior_alpha *
+                     cfg.prior_kappa / (cfg.prior_kappa + 1.0);
+    BocdDetector detector(cfg);
+    for (std::size_t i = 0; i < s.gbps.size(); ++i) {
+      detector.observe(normalized[i]);
+      // Recent-mass threshold OR MAP run-length collapse (as in
+      // segment_by_gaps); spurious collapses are filtered by the explicit
+      // persistent-drop check below.
+      const bool posterior_says_cp =
+          detector.last_was_changepoint() ||
+          (detector.observations_seen() > cfg.recent_run_cap + 1 &&
+           detector.map_run_length() <= cfg.recent_run_cap);
+      if (!posterior_says_cp) continue;
+      // Candidate onset at bucket i: require a persistent *drop*.
+      const std::span<const double> before(s.gbps.data(), i);
+      const std::span<const double> after(s.gbps.data() + i,
+                                          s.gbps.size() - i);
+      if (before.size() < 2 || after.size() < 2) continue;
+      const double mean_before = stats::mean(before);
+      const double mean_after = stats::mean(after);
+      if (mean_after < mean_before * (1.0 - config.min_drop)) {
+        onsets.push_back(
+            {s.switch_id, s.bucket_begin[i], mean_before, mean_after});
+        break;  // first persistent drop per switch
+      }
+    }
+  }
+  return onsets;
+}
+
+std::vector<std::vector<double>> group_dp_durations(
+    std::span<const GpuTimeline> timelines,
+    const std::vector<std::vector<GpuId>>& dp_components) {
+  std::unordered_map<GpuId, const GpuTimeline*> by_gpu;
+  for (const GpuTimeline& t : timelines) by_gpu.emplace(t.gpu, &t);
+
+  std::vector<std::vector<double>> durations;
+  durations.reserve(dp_components.size());
+  for (const auto& component : dp_components) {
+    std::size_t min_steps = SIZE_MAX;
+    std::vector<const GpuTimeline*> members;
+    for (const GpuId g : component) {
+      const auto it = by_gpu.find(g);
+      if (it == by_gpu.end()) continue;
+      members.push_back(it->second);
+      min_steps = std::min(min_steps, it->second->steps.size());
+    }
+    std::vector<double> row;
+    if (!members.empty() && min_steps != SIZE_MAX) {
+      row.reserve(min_steps);
+      for (std::size_t k = 0; k < min_steps; ++k) {
+        TimeNs begin = members.front()->steps[k].dp_begin;
+        TimeNs end = members.front()->steps[k].dp_end;
+        for (const GpuTimeline* t : members) {
+          begin = std::min(begin, t->steps[k].dp_begin);
+          end = std::max(end, t->steps[k].dp_end);
+        }
+        row.push_back(to_seconds(end - begin));
+      }
+    }
+    durations.push_back(std::move(row));
+  }
+  return durations;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,107 @@
+#include "llmprism/core/monitor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace llmprism {
+
+OnlineMonitor::OnlineMonitor(const ClusterTopology& topology,
+                             MonitorConfig config)
+    : topology_(topology),
+      config_(std::move(config)),
+      prism_(topology_, config_.prism) {
+  if (config_.window <= 0) {
+    throw std::invalid_argument("monitor: window must be positive");
+  }
+  if (config_.reorder_slack < 0) {
+    throw std::invalid_argument("monitor: reorder_slack must be >= 0");
+  }
+}
+
+MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
+  // A job's identity is its machine set: tenants keep their machines for
+  // the lifetime of a job, while GPU-level membership of *observed* flows
+  // fluctuates window to window.
+  std::string key;
+  key.reserve(job.machines.size() * 6);
+  for (const MachineId m : job.machines) {
+    key += std::to_string(m.value());
+    key += ',';
+  }
+  const auto [it, inserted] = job_ids_.emplace(std::move(key), next_job_id_);
+  if (inserted) ++next_job_id_;
+  return it->second;
+}
+
+MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
+                                          FlowTrace flows) {
+  MonitorTick tick;
+  tick.window = window;
+  flows.sort();
+  tick.report = prism_.analyze(flows);
+  tick.job_ids.reserve(tick.report.jobs.size());
+  for (const JobAnalysis& job : tick.report.jobs) {
+    const MonitorJobId id = stable_id_for(job.job);
+    tick.job_ids.push_back(id);
+    ++stats_.job_windows[id];
+  }
+
+  ++stats_.windows_completed;
+  for (const JobAnalysis& job : tick.report.jobs) {
+    stats_.step_alerts += job.step_alerts.size();
+    stats_.group_alerts += job.group_alerts.size();
+  }
+  stats_.switch_bandwidth_alerts += tick.report.switch_bandwidth_alerts.size();
+  stats_.switch_concurrency_alerts +=
+      tick.report.switch_concurrency_alerts.size();
+  return tick;
+}
+
+std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
+  std::vector<MonitorTick> ticks;
+  for (const FlowRecord& f : batch) {
+    if (!window_origin_set_) {
+      window_begin_ = f.start_time;
+      window_origin_set_ = true;
+      watermark_ = f.start_time;
+    }
+    if (f.start_time < window_begin_) {
+      // Arrived later than the reorder slack allows: its window is already
+      // closed and analyzed. Count and drop.
+      ++stats_.flows_dropped_late;
+      continue;
+    }
+    buffer_.add(f);
+    watermark_ = std::max(watermark_, f.start_time);
+    ++stats_.flows_ingested;
+  }
+
+  // Close every window whose end the watermark has safely passed.
+  while (window_origin_set_ &&
+         watermark_ - config_.reorder_slack >=
+             window_begin_ + config_.window) {
+    const TimeWindow window{window_begin_, window_begin_ + config_.window};
+    buffer_.sort();
+    FlowTrace in_window = buffer_.window(window);
+    FlowTrace rest = buffer_.window(
+        {window.end, std::numeric_limits<TimeNs>::max()});
+    buffer_ = std::move(rest);
+    window_begin_ = window.end;
+    ticks.push_back(analyze_window(window, std::move(in_window)));
+  }
+  return ticks;
+}
+
+std::optional<MonitorTick> OnlineMonitor::flush() {
+  if (buffer_.empty()) return std::nullopt;
+  buffer_.sort();
+  const TimeWindow window{window_begin_, buffer_.span().end};
+  FlowTrace flows = std::move(buffer_);
+  buffer_ = FlowTrace{};
+  window_begin_ = window.end;
+  return analyze_window(window, std::move(flows));
+}
+
+}  // namespace llmprism

@@ -1,0 +1,160 @@
+#include "llmprism/core/parallelism_inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "llmprism/common/stats.hpp"
+
+namespace llmprism {
+
+namespace {
+
+/// Connected components of the PP-pair graph. In a healthy reconstruction
+/// each component is one pipeline chain (a path of pp stages).
+struct PpChains {
+  std::vector<std::size_t> sizes;  ///< nodes per component
+  bool all_paths = true;           ///< every component is a simple path
+};
+
+PpChains pp_chain_components(const CommTypeResult& comm_types) {
+  std::unordered_map<GpuId, std::vector<GpuId>> adj;
+  for (const PairClassification& p : comm_types.pairs) {
+    if (p.type != CommType::kPP) continue;
+    adj[p.pair.first].push_back(p.pair.second);
+    adj[p.pair.second].push_back(p.pair.first);
+  }
+  PpChains chains;
+  std::unordered_set<GpuId> visited;
+  for (const auto& [start, neighbours] : adj) {
+    if (visited.count(start)) continue;
+    std::vector<GpuId> stack{start};
+    visited.insert(start);
+    std::size_t nodes = 0;
+    std::size_t degree_one = 0;
+    bool degrees_ok = true;
+    while (!stack.empty()) {
+      const GpuId u = stack.back();
+      stack.pop_back();
+      ++nodes;
+      const auto& nbrs = adj.at(u);
+      if (nbrs.size() == 1) ++degree_one;
+      if (nbrs.size() > 2) degrees_ok = false;
+      for (const GpuId v : nbrs) {
+        if (visited.insert(v).second) stack.push_back(v);
+      }
+    }
+    chains.sizes.push_back(nodes);
+    // A simple path of >= 2 nodes has exactly two degree-1 endpoints.
+    if (!degrees_ok || (nodes >= 2 && degree_one != 2)) {
+      chains.all_paths = false;
+    }
+  }
+  return chains;
+}
+
+std::uint32_t mode_of_sizes(const std::vector<std::size_t>& sizes) {
+  std::vector<std::int64_t> as_int;
+  as_int.reserve(sizes.size());
+  for (const std::size_t s : sizes) {
+    as_int.push_back(static_cast<std::int64_t>(s));
+  }
+  return static_cast<std::uint32_t>(stats::mode(as_int));
+}
+
+}  // namespace
+
+InferredParallelism infer_parallelism(std::size_t num_gpus,
+                                      const CommTypeResult& comm_types,
+                                      std::span<const GpuTimeline> timelines) {
+  InferredParallelism inferred;
+  inferred.world_size = static_cast<std::uint32_t>(num_gpus);
+
+  // --- dp from DP component sizes ---
+  if (!comm_types.dp_components.empty()) {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(comm_types.dp_components.size());
+    for (const auto& component : comm_types.dp_components) {
+      sizes.push_back(component.size());
+    }
+    inferred.dp = std::max(1u, mode_of_sizes(sizes));
+    for (const std::size_t s : sizes) {
+      if (s != inferred.dp) inferred.dp_groups_uniform = false;
+    }
+
+    // Completeness: a fully observed DP group contains its ring cycle(s),
+    // so the component's DP-edge count reaches its node count; an open arc
+    // (parts of the ring hidden inside machines) has edges = nodes - 1.
+    std::unordered_map<GpuId, std::size_t> component_of;
+    for (std::size_t c = 0; c < comm_types.dp_components.size(); ++c) {
+      for (const GpuId g : comm_types.dp_components[c]) {
+        component_of.emplace(g, c);
+      }
+    }
+    std::vector<std::size_t> edge_count(comm_types.dp_components.size(), 0);
+    for (const PairClassification& p : comm_types.pairs) {
+      if (p.type != CommType::kDP) continue;
+      const auto it = component_of.find(p.pair.first);
+      if (it != component_of.end()) ++edge_count[it->second];
+    }
+    for (std::size_t c = 0; c < comm_types.dp_components.size(); ++c) {
+      const std::size_t nodes = comm_types.dp_components[c].size();
+      // A 2-member group's "ring" is a single link (cycle and path
+      // coincide); treat one edge as complete there.
+      const std::size_t needed = nodes == 2 ? 1 : nodes;
+      if (edge_count[c] < needed) {
+        inferred.dp_groups_complete = false;
+      }
+    }
+  }
+
+  // --- pp from PP chain lengths ---
+  const PpChains chains = pp_chain_components(comm_types);
+  if (!chains.sizes.empty()) {
+    inferred.pp = std::max(1u, mode_of_sizes(chains.sizes));
+    inferred.pp_chains_uniform = chains.all_paths;
+    for (const std::size_t s : chains.sizes) {
+      if (s != inferred.pp) inferred.pp_chains_uniform = false;
+    }
+  }
+
+  // --- tp from the remainder ---
+  const std::uint64_t plane =
+      static_cast<std::uint64_t>(inferred.dp) * inferred.pp;
+  if (plane != 0 && num_gpus % plane == 0) {
+    inferred.tp = static_cast<std::uint32_t>(num_gpus / plane);
+  } else {
+    inferred.tp = 1;
+    inferred.divides_world = false;
+  }
+
+  // --- micro-batches from PP flow counts per step ---
+  // Each PP pair carries one forward + one backward message per micro-batch
+  // per step; the step count comes from the reconstructed timelines (PP
+  // pairs' own step division is unreliable — their within-step intervals
+  // are not well separated from the step gap).
+  if (!timelines.empty()) {
+    std::vector<double> step_counts;
+    for (const GpuTimeline& t : timelines) {
+      if (!t.steps.empty()) {
+        step_counts.push_back(static_cast<double>(t.steps.size()));
+      }
+    }
+    const double steps = stats::median(step_counts);
+    if (steps >= 1.0) {
+      std::vector<double> estimates;
+      for (const PairClassification& p : comm_types.pairs) {
+        if (p.type != CommType::kPP || p.num_flows == 0) continue;
+        estimates.push_back(static_cast<double>(p.num_flows) / steps / 2.0);
+      }
+      if (!estimates.empty()) {
+        inferred.micro_batches = static_cast<std::uint32_t>(
+            std::lround(stats::median(estimates)));
+      }
+    }
+  }
+  return inferred;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,84 @@
+#include "llmprism/core/prism.hpp"
+
+#include <unordered_map>
+
+#include "llmprism/common/log.hpp"
+
+namespace llmprism {
+
+Prism::Prism(const ClusterTopology& topology, PrismConfig config)
+    : topology_(topology), config_(std::move(config)) {}
+
+PrismReport Prism::analyze(const FlowTrace& trace) const {
+  PrismReport report;
+
+  // (1) job recognition
+  const JobRecognizer recognizer(topology_, config_.recognition);
+  report.recognition = recognizer.recognize(trace);
+  log::info("prism: recognized ", report.recognition.jobs.size(),
+            " jobs from ", report.recognition.num_cross_machine_clusters,
+            " cross-machine clusters");
+
+  // Route each flow to its job in one pass over the trace.
+  std::unordered_map<GpuId, std::size_t> job_of_gpu;
+  for (std::size_t j = 0; j < report.recognition.jobs.size(); ++j) {
+    for (const GpuId g : report.recognition.jobs[j].gpus) {
+      job_of_gpu.emplace(g, j);
+    }
+  }
+  std::vector<FlowTrace> job_traces(report.recognition.jobs.size());
+  for (const FlowRecord& f : trace) {
+    const auto it = job_of_gpu.find(f.src);
+    if (it != job_of_gpu.end()) job_traces[it->second].add(f);
+  }
+
+  const CommTypeIdentifier identifier(config_.comm_type);
+  const TimelineReconstructor reconstructor(config_.timeline);
+  const Diagnoser diagnoser(config_.diagnosis);
+
+  FlowTrace all_dp_flows;
+  for (std::size_t j = 0; j < report.recognition.jobs.size(); ++j) {
+    JobAnalysis analysis;
+    analysis.id = JobId(static_cast<std::uint32_t>(j));
+    analysis.job = report.recognition.jobs[j];
+    analysis.trace = std::move(job_traces[j]);
+    analysis.trace.sort();
+
+    // (2) parallelism strategies
+    analysis.comm_types = identifier.identify(analysis.trace);
+    const auto types = analysis.comm_types.types();
+
+    // Collect DP flows for cluster-wide switch diagnosis.
+    for (const FlowRecord& f : analysis.trace) {
+      const auto it = types.find(f.pair());
+      if (it != types.end() && it->second == CommType::kDP) {
+        all_dp_flows.add(f);
+      }
+    }
+
+    // (3) timelines + (4) job-level diagnosis
+    if (config_.reconstruct_timelines) {
+      analysis.timelines = reconstructor.reconstruct_all(analysis.trace, types);
+      analysis.step_alerts = diagnoser.cross_step(analysis.timelines);
+      const auto durations = group_dp_durations(
+          analysis.timelines, analysis.comm_types.dp_components);
+      analysis.group_alerts = diagnoser.cross_group(durations);
+    }
+
+    // (2b) full 3D layout from the recovered structure
+    analysis.inferred = infer_parallelism(analysis.job.gpus.size(),
+                                          analysis.comm_types,
+                                          std::span(analysis.timelines));
+    report.jobs.push_back(std::move(analysis));
+  }
+
+  // (4) cluster-wide switch-level diagnosis
+  all_dp_flows.sort();
+  report.switch_bandwidth_gbps = Diagnoser::per_switch_bandwidth(all_dp_flows);
+  report.switch_bandwidth_alerts = diagnoser.switch_bandwidth(all_dp_flows);
+  report.switch_concurrency_alerts =
+      diagnoser.switch_concurrency(all_dp_flows);
+  return report;
+}
+
+}  // namespace llmprism

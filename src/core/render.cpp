@@ -1,0 +1,221 @@
+#include "llmprism/core/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace llmprism {
+
+namespace {
+
+char glyph(TimelineEventKind kind) {
+  switch (kind) {
+    case TimelineEventKind::kPpSend:
+      return '>';
+    case TimelineEventKind::kPpRecv:
+      return '<';
+    case TimelineEventKind::kDp:
+      return 'D';
+    case TimelineEventKind::kCompute:
+      return 'C';
+  }
+  return '?';
+}
+
+TimeWindow effective_window(const GpuTimeline& timeline,
+                            const RenderOptions& options) {
+  if (!options.window.empty()) return options.window;
+  if (timeline.events.empty()) return {0, 1};
+  return {timeline.events.front().start, timeline.events.back().end};
+}
+
+void paint_lane(std::string& lane, const GpuTimeline& timeline,
+                TimeWindow window, std::size_t width) {
+  const double span = static_cast<double>(window.length());
+  auto column = [&](TimeNs t) {
+    const double frac = static_cast<double>(t - window.begin) / span;
+    const auto c = static_cast<std::ptrdiff_t>(
+        frac * static_cast<double>(width));
+    return std::clamp<std::ptrdiff_t>(c, 0,
+                                      static_cast<std::ptrdiff_t>(width) - 1);
+  };
+  // Paint compute first so communication overdraws it where they overlap.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const TimelineEvent& e : timeline.events) {
+      const bool is_compute = e.kind == TimelineEventKind::kCompute;
+      if ((pass == 0) != is_compute) continue;
+      if (e.end <= window.begin || e.start >= window.end) continue;
+      const auto c0 = column(std::max(e.start, window.begin));
+      const auto c1 = column(std::min(e.end, window.end - 1));
+      for (auto c = c0; c <= c1; ++c) {
+        lane[static_cast<std::size_t>(c)] = glyph(e.kind);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_timeline_lane(const GpuTimeline& timeline,
+                                 const RenderOptions& options) {
+  const TimeWindow window = effective_window(timeline, options);
+  std::string lane(options.width, '.');
+  paint_lane(lane, timeline, window, options.width);
+  std::ostringstream oss;
+  oss << "gpu " << timeline.gpu << " |" << lane << '|';
+  return oss.str();
+}
+
+std::string render_timeline_chart(std::span<const GpuTimeline> timelines,
+                                  const RenderOptions& options) {
+  if (timelines.empty()) return "(no timelines)\n";
+  TimeWindow window = options.window;
+  if (window.empty()) {
+    window = {timelines.front().events.empty()
+                  ? 0
+                  : timelines.front().events.front().start,
+              1};
+    for (const GpuTimeline& t : timelines) {
+      if (t.events.empty()) continue;
+      window.begin = std::min(window.begin, t.events.front().start);
+      window.end = std::max(window.end, t.events.back().end);
+    }
+  }
+  std::ostringstream oss;
+  oss << "time window: [" << to_seconds(window.begin) << "s, "
+      << to_seconds(window.end) << "s]  legend: C compute, > pp send, < pp "
+         "recv, D dp, . idle\n";
+  RenderOptions lane_options = options;
+  lane_options.window = window;
+  for (const GpuTimeline& t : timelines) {
+    oss << render_timeline_lane(t, lane_options) << '\n';
+  }
+  return oss.str();
+}
+
+void write_timeline_json(std::ostream& os,
+                         std::span<const GpuTimeline> timelines) {
+  for (const GpuTimeline& t : timelines) {
+    for (const TimelineEvent& e : t.events) {
+      os << "{\"gpu\":" << t.gpu.value() << ",\"kind\":\""
+         << to_string(e.kind) << "\",\"start_ns\":" << e.start
+         << ",\"end_ns\":" << e.end;
+      if (e.peer.valid()) os << ",\"peer\":" << e.peer.value();
+      os << "}\n";
+    }
+  }
+}
+
+void write_report_json(std::ostream& os, const PrismReport& report) {
+  os << "{\"cross_machine_clusters\":"
+     << report.recognition.num_cross_machine_clusters << ",\"jobs\":[";
+  for (std::size_t j = 0; j < report.jobs.size(); ++j) {
+    const JobAnalysis& job = report.jobs[j];
+    if (j != 0) os << ',';
+    os << "{\"id\":" << job.id.value() << ",\"gpus\":" << job.job.gpus.size()
+       << ",\"machines\":[";
+    for (std::size_t m = 0; m < job.job.machines.size(); ++m) {
+      if (m != 0) os << ',';
+      os << job.job.machines[m].value();
+    }
+    os << "],\"layout\":{\"tp\":" << job.inferred.tp
+       << ",\"dp\":" << job.inferred.dp << ",\"pp\":" << job.inferred.pp
+       << ",\"micro_batches\":" << job.inferred.micro_batches
+       << ",\"dp_groups_complete\":"
+       << (job.inferred.dp_groups_complete ? "true" : "false") << "}";
+    std::size_t dp_pairs = 0;
+    std::size_t pp_pairs = 0;
+    for (const PairClassification& p : job.comm_types.pairs) {
+      (p.type == CommType::kDP ? dp_pairs : pp_pairs) += 1;
+    }
+    os << ",\"dp_pairs\":" << dp_pairs << ",\"pp_pairs\":" << pp_pairs
+       << ",\"dp_groups\":" << job.comm_types.dp_components.size();
+    os << ",\"step_alerts\":[";
+    for (std::size_t a = 0; a < job.step_alerts.size(); ++a) {
+      const StepAlert& alert = job.step_alerts[a];
+      if (a != 0) os << ',';
+      os << "{\"gpu\":" << alert.gpu.value() << ",\"step\":"
+         << alert.step_index << ",\"duration_s\":" << alert.duration_s
+         << ",\"mean_s\":" << alert.mean_s << "}";
+    }
+    os << "],\"group_alerts\":[";
+    for (std::size_t a = 0; a < job.group_alerts.size(); ++a) {
+      const GroupAlert& alert = job.group_alerts[a];
+      if (a != 0) os << ',';
+      os << "{\"group\":" << alert.group_index << ",\"step\":"
+         << alert.step_index << ",\"duration_s\":" << alert.duration_s
+         << ",\"mean_s\":" << alert.mean_s << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"switch_bandwidth_gbps\":{";
+  for (std::size_t s = 0; s < report.switch_bandwidth_gbps.size(); ++s) {
+    const auto& [sw, bw] = report.switch_bandwidth_gbps[s];
+    if (s != 0) os << ',';
+    os << '"' << sw.value() << "\":" << bw;
+  }
+  os << "},\"switch_bandwidth_alerts\":[";
+  for (std::size_t a = 0; a < report.switch_bandwidth_alerts.size(); ++a) {
+    const SwitchBandwidthAlert& alert = report.switch_bandwidth_alerts[a];
+    if (a != 0) os << ',';
+    os << "{\"switch\":" << alert.switch_id.value() << ",\"bandwidth_gbps\":"
+       << alert.bandwidth_gbps << ",\"mean_gbps\":" << alert.mean_gbps << "}";
+  }
+  os << "],\"switch_concurrency_alerts\":[";
+  for (std::size_t a = 0; a < report.switch_concurrency_alerts.size(); ++a) {
+    const SwitchConcurrencyAlert& alert = report.switch_concurrency_alerts[a];
+    if (a != 0) os << ',';
+    os << "{\"switch\":" << alert.switch_id.value() << ",\"concurrent_flows\":"
+       << alert.concurrent_flows << ",\"limit\":" << alert.limit << "}";
+  }
+  os << "]}\n";
+}
+
+std::string render_report_summary(const PrismReport& report) {
+  std::ostringstream oss;
+  oss << "LLMPrism report\n"
+      << "  cross-machine clusters: "
+      << report.recognition.num_cross_machine_clusters << '\n'
+      << "  recognized jobs: " << report.jobs.size() << '\n';
+  for (const JobAnalysis& job : report.jobs) {
+    std::size_t dp_pairs = 0;
+    std::size_t pp_pairs = 0;
+    for (const PairClassification& p : job.comm_types.pairs) {
+      (p.type == CommType::kDP ? dp_pairs : pp_pairs) += 1;
+    }
+    oss << "  job " << job.id << ": " << job.job.gpus.size() << " gpus on "
+        << job.job.machines.size() << " machines, " << job.trace.size()
+        << " flows, " << dp_pairs << " DP pairs / " << pp_pairs
+        << " PP pairs, " << job.comm_types.dp_components.size()
+        << " DP groups, layout tp" << job.inferred.tp << "/dp"
+        << job.inferred.dp << "/pp" << job.inferred.pp;
+    if (job.inferred.micro_batches > 0) {
+      oss << "/mb" << job.inferred.micro_batches;
+    }
+    if (!job.timelines.empty()) {
+      oss << ", " << job.timelines.front().steps.size() << " steps";
+    }
+    if (!job.step_alerts.empty() || !job.group_alerts.empty()) {
+      oss << "  [alerts: " << job.step_alerts.size() << " step, "
+          << job.group_alerts.size() << " group]";
+    }
+    oss << '\n';
+  }
+  if (!report.switch_bandwidth_alerts.empty()) {
+    oss << "  switch bandwidth alerts:";
+    for (const SwitchBandwidthAlert& a : report.switch_bandwidth_alerts) {
+      oss << " sw" << a.switch_id << "(" << a.bandwidth_gbps << "Gb/s)";
+    }
+    oss << '\n';
+  }
+  if (!report.switch_concurrency_alerts.empty()) {
+    oss << "  switch concurrency alerts:";
+    for (const SwitchConcurrencyAlert& a : report.switch_concurrency_alerts) {
+      oss << " sw" << a.switch_id << "(" << a.concurrent_flows << ">"
+          << a.limit << ")";
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace llmprism

@@ -1,0 +1,126 @@
+#include "llmprism/core/timeline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace llmprism {
+
+namespace {
+
+/// Classify one flow from `gpu`'s perspective.
+TimelineEvent make_event(const FlowRecord& f, GpuId gpu,
+                         const std::unordered_map<GpuPair, CommType>& types) {
+  const auto it = types.find(f.pair());
+  const CommType type = it != types.end() ? it->second : CommType::kPP;
+  TimelineEvent e;
+  e.start = f.start_time;
+  e.end = f.end_time();
+  e.peer = f.src == gpu ? f.dst : f.src;
+  if (type == CommType::kDP) {
+    e.kind = TimelineEventKind::kDp;
+  } else {
+    e.kind = f.src == gpu ? TimelineEventKind::kPpSend
+                          : TimelineEventKind::kPpRecv;
+  }
+  return e;
+}
+
+/// Build the timeline of one GPU from its (chronological) comm events.
+GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
+                     const TimelineConfig& config) {
+  GpuTimeline timeline;
+  timeline.gpu = gpu;
+  std::sort(comm_events.begin(), comm_events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+
+  // ---- step boundaries from DP bursts ----
+  std::vector<TimeNs> dp_starts;
+  std::vector<std::size_t> dp_event_idx;
+  for (std::size_t i = 0; i < comm_events.size(); ++i) {
+    if (comm_events[i].kind == TimelineEventKind::kDp) {
+      dp_starts.push_back(comm_events[i].start);
+      dp_event_idx.push_back(i);
+    }
+  }
+
+  if (!dp_starts.empty()) {
+    const auto burst_starts = segment_by_gaps(dp_starts, config.segmenter);
+    TimeNs prev_end = comm_events.empty() ? 0 : comm_events.front().start;
+    for (std::size_t b = 0; b < burst_starts.size(); ++b) {
+      const std::size_t seg_begin = burst_starts[b];
+      const std::size_t seg_end = b + 1 < burst_starts.size()
+                                      ? burst_starts[b + 1]
+                                      : dp_starts.size();
+      ReconstructedStep step;
+      step.index = b;
+      step.begin = prev_end;
+      step.dp_begin = dp_starts[seg_begin];
+      step.dp_end = step.dp_begin;
+      for (std::size_t i = seg_begin; i < seg_end; ++i) {
+        step.dp_end = std::max(step.dp_end, comm_events[dp_event_idx[i]].end);
+      }
+      step.end = step.dp_end;
+      prev_end = step.end;
+      timeline.steps.push_back(step);
+    }
+  }
+
+  // ---- fill compute gaps between communication events ----
+  timeline.events.reserve(comm_events.size() * 2);
+  TimeNs busy_until = comm_events.empty() ? 0 : comm_events.front().start;
+  for (const TimelineEvent& e : comm_events) {
+    if (e.start - busy_until >= config.min_compute_gap) {
+      TimelineEvent gap;
+      gap.kind = TimelineEventKind::kCompute;
+      gap.start = busy_until;
+      gap.end = e.start;
+      timeline.events.push_back(gap);
+    }
+    timeline.events.push_back(e);
+    busy_until = std::max(busy_until, e.end);
+  }
+  return timeline;
+}
+
+}  // namespace
+
+TimelineReconstructor::TimelineReconstructor(TimelineConfig config)
+    : config_(config) {}
+
+GpuTimeline TimelineReconstructor::reconstruct(
+    GpuId gpu, const FlowTrace& job_trace,
+    const std::unordered_map<GpuPair, CommType>& types) const {
+  std::vector<TimelineEvent> comm_events;
+  for (const FlowRecord& f : job_trace) {
+    if (f.src != gpu && f.dst != gpu) continue;
+    comm_events.push_back(make_event(f, gpu, types));
+  }
+  return assemble(gpu, std::move(comm_events), config_);
+}
+
+std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
+    const FlowTrace& job_trace,
+    const std::unordered_map<GpuPair, CommType>& types) const {
+  // Single pass over the trace: bucket every flow under both endpoints.
+  std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
+  for (const FlowRecord& f : job_trace) {
+    per_gpu[f.src].push_back(make_event(f, f.src, types));
+    per_gpu[f.dst].push_back(make_event(f, f.dst, types));
+  }
+  std::vector<GpuId> gpus;
+  gpus.reserve(per_gpu.size());
+  for (const auto& [gpu, events] : per_gpu) gpus.push_back(gpu);
+  std::sort(gpus.begin(), gpus.end());
+
+  std::vector<GpuTimeline> out;
+  out.reserve(gpus.size());
+  for (const GpuId g : gpus) {
+    out.push_back(assemble(g, std::move(per_gpu[g]), config_));
+  }
+  return out;
+}
+
+}  // namespace llmprism

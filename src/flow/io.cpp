@@ -1,0 +1,102 @@
+#include "llmprism/flow/io.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "llmprism/common/csv.hpp"
+
+namespace llmprism {
+
+namespace {
+
+constexpr std::string_view kHeader = "start_ns,src,dst,bytes,duration_ns,switches";
+
+template <typename T>
+T parse_number(std::string_view s, std::string_view what) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error("flow csv: bad " + std::string(what) + " field '" +
+                             std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string join_switches(const SwitchPath& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += ';';
+    out += std::to_string(path[i].value());
+  }
+  return out;
+}
+
+SwitchPath parse_switches(std::string_view s) {
+  SwitchPath path;
+  if (s.empty()) return path;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(';', pos);
+    const std::string_view tok =
+        s.substr(pos, next == std::string_view::npos ? next : next - pos);
+    path.push_back(SwitchId(parse_number<std::uint32_t>(tok, "switch")));
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return path;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const FlowTrace& trace) {
+  os << kHeader << '\n';
+  for (const FlowRecord& f : trace) {
+    const std::array<std::string, 6> row = {
+        std::to_string(f.start_time),    std::to_string(f.src.value()),
+        std::to_string(f.dst.value()),   std::to_string(f.bytes),
+        std::to_string(f.duration),      join_switches(f.switches)};
+    csv::write_row(os, row);
+  }
+}
+
+FlowTrace read_csv(std::istream& is) {
+  const auto rows = csv::read_all(is);
+  if (rows.empty()) {
+    throw std::runtime_error("flow csv: empty input (missing header)");
+  }
+  FlowTrace trace;
+  trace.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 6) {
+      throw std::runtime_error("flow csv: expected 6 fields, got " +
+                               std::to_string(row.size()));
+    }
+    FlowRecord f;
+    f.start_time = parse_number<TimeNs>(row[0], "start_ns");
+    f.src = GpuId(parse_number<std::uint32_t>(row[1], "src"));
+    f.dst = GpuId(parse_number<std::uint32_t>(row[2], "dst"));
+    f.bytes = parse_number<std::uint64_t>(row[3], "bytes");
+    f.duration = parse_number<DurationNs>(row[4], "duration_ns");
+    f.switches = parse_switches(row[5]);
+    trace.add(std::move(f));
+  }
+  return trace;
+}
+
+void write_csv_file(const std::string& path, const FlowTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("flow csv: cannot open for write: " + path);
+  write_csv(os, trace);
+}
+
+FlowTrace read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("flow csv: cannot open for read: " + path);
+  return read_csv(is);
+}
+
+}  // namespace llmprism

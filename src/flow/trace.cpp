@@ -1,0 +1,87 @@
+#include "llmprism/flow/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmprism {
+
+FlowTrace::FlowTrace(std::vector<FlowRecord> flows)
+    : flows_(std::move(flows)) {}
+
+void FlowTrace::add(FlowRecord flow) { flows_.push_back(std::move(flow)); }
+
+void FlowTrace::append(const FlowTrace& other) {
+  flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
+}
+
+void FlowTrace::sort() {
+  std::sort(flows_.begin(), flows_.end(), FlowStartTimeLess{});
+}
+
+bool FlowTrace::is_sorted() const {
+  return std::is_sorted(flows_.begin(), flows_.end(), FlowStartTimeLess{});
+}
+
+FlowTrace FlowTrace::window(TimeWindow w) const {
+  if (!is_sorted()) {
+    throw std::logic_error("FlowTrace::window requires a sorted trace");
+  }
+  const auto lo = std::lower_bound(
+      flows_.begin(), flows_.end(), w.begin,
+      [](const FlowRecord& f, TimeNs t) { return f.start_time < t; });
+  const auto hi = std::lower_bound(
+      lo, flows_.end(), w.end,
+      [](const FlowRecord& f, TimeNs t) { return f.start_time < t; });
+  return FlowTrace(std::vector<FlowRecord>(lo, hi));
+}
+
+TimeWindow FlowTrace::span() const {
+  if (flows_.empty()) return {};
+  TimeNs lo = flows_.front().start_time;
+  TimeNs hi = flows_.front().end_time();
+  for (const FlowRecord& f : flows_) {
+    lo = std::min(lo, f.start_time);
+    hi = std::max(hi, f.end_time());
+  }
+  return {lo, hi};
+}
+
+std::unordered_map<GpuPair, std::vector<std::size_t>> build_pair_index(
+    const FlowTrace& trace) {
+  std::unordered_map<GpuPair, std::vector<std::size_t>> index;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    index[trace[i].pair()].push_back(i);
+  }
+  return index;
+}
+
+std::unordered_map<SwitchId, std::vector<std::size_t>> build_switch_index(
+    const FlowTrace& trace) {
+  std::unordered_map<SwitchId, std::vector<std::size_t>> index;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (const SwitchId sw : trace[i].switches) {
+      index[sw].push_back(i);
+    }
+  }
+  return index;
+}
+
+std::unordered_set<GpuId> endpoints(const FlowTrace& trace) {
+  std::unordered_set<GpuId> out;
+  for (const FlowRecord& f : trace) {
+    out.insert(f.src);
+    out.insert(f.dst);
+  }
+  return out;
+}
+
+std::vector<GpuPair> communication_pairs(const FlowTrace& trace) {
+  std::unordered_set<GpuPair> seen;
+  std::vector<GpuPair> out;
+  for (const FlowRecord& f : trace) {
+    if (seen.insert(f.pair()).second) out.push_back(f.pair());
+  }
+  return out;
+}
+
+}  // namespace llmprism

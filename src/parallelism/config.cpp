@@ -1,0 +1,101 @@
+#include "llmprism/parallelism/config.hpp"
+
+namespace llmprism {
+
+RankMap::RankMap(ParallelismConfig config) : config_(config) {
+  config_.validate();
+}
+
+void RankMap::check_rank(RankId rank) const {
+  if (!rank.valid() || rank.value() >= world_size()) {
+    throw std::out_of_range("RankMap: rank out of range");
+  }
+}
+
+void RankMap::check_coord(RankCoord coord) const {
+  if (coord.tp_idx >= config_.tp || coord.dp_idx >= config_.dp ||
+      coord.pp_idx >= config_.pp) {
+    throw std::out_of_range("RankMap: coordinate out of range");
+  }
+}
+
+RankCoord RankMap::coord_of(RankId rank) const {
+  check_rank(rank);
+  const std::uint32_t r = rank.value();
+  RankCoord coord;
+  coord.tp_idx = r % config_.tp;
+  const std::uint32_t rest = r / config_.tp;
+  if (config_.order == RankOrder::kTpDpPp) {
+    coord.dp_idx = rest % config_.dp;
+    coord.pp_idx = rest / config_.dp;
+  } else {  // kTpPpDp
+    coord.pp_idx = rest % config_.pp;
+    coord.dp_idx = rest / config_.pp;
+  }
+  return coord;
+}
+
+RankId RankMap::rank_of(RankCoord coord) const {
+  check_coord(coord);
+  std::uint32_t rest = 0;
+  if (config_.order == RankOrder::kTpDpPp) {
+    rest = coord.pp_idx * config_.dp + coord.dp_idx;
+  } else {
+    rest = coord.dp_idx * config_.pp + coord.pp_idx;
+  }
+  return RankId(rest * config_.tp + coord.tp_idx);
+}
+
+std::vector<RankId> RankMap::tp_group(std::uint32_t dp_idx,
+                                      std::uint32_t pp_idx) const {
+  std::vector<RankId> group;
+  group.reserve(config_.tp);
+  for (std::uint32_t t = 0; t < config_.tp; ++t) {
+    group.push_back(rank_of({t, dp_idx, pp_idx}));
+  }
+  return group;
+}
+
+std::vector<RankId> RankMap::dp_group(std::uint32_t tp_idx,
+                                      std::uint32_t pp_idx) const {
+  std::vector<RankId> group;
+  group.reserve(config_.dp);
+  for (std::uint32_t d = 0; d < config_.dp; ++d) {
+    group.push_back(rank_of({tp_idx, d, pp_idx}));
+  }
+  return group;
+}
+
+std::vector<RankId> RankMap::pp_group(std::uint32_t tp_idx,
+                                      std::uint32_t dp_idx) const {
+  std::vector<RankId> group;
+  group.reserve(config_.pp);
+  for (std::uint32_t p = 0; p < config_.pp; ++p) {
+    group.push_back(rank_of({tp_idx, dp_idx, p}));
+  }
+  return group;
+}
+
+std::vector<std::vector<RankId>> RankMap::all_dp_groups() const {
+  std::vector<std::vector<RankId>> groups;
+  groups.reserve(static_cast<std::size_t>(config_.tp) * config_.pp);
+  for (std::uint32_t p = 0; p < config_.pp; ++p) {
+    for (std::uint32_t t = 0; t < config_.tp; ++t) {
+      groups.push_back(dp_group(t, p));
+    }
+  }
+  return groups;
+}
+
+std::vector<std::vector<RankId>> RankMap::all_pp_groups() const {
+  std::vector<std::vector<RankId>> groups;
+  groups.reserve(static_cast<std::size_t>(config_.tp) * config_.dp);
+  for (std::uint32_t d = 0; d < config_.dp; ++d) {
+    for (std::uint32_t t = 0; t < config_.tp; ++t) {
+      groups.push_back(pp_group(t, d));
+    }
+  }
+  return groups;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,95 @@
+#include "llmprism/parallelism/placement.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace llmprism {
+
+JobPlacement::JobPlacement(const RankMap& rank_map,
+                           std::vector<MachineId> machines,
+                           const ClusterTopology& topology,
+                           bool require_tp_intra_node)
+    : machines_(std::move(machines)) {
+  const std::uint32_t world = rank_map.world_size();
+  const std::uint32_t per_machine = topology.config().gpus_per_machine;
+  if (machines_.size() * per_machine != world) {
+    throw std::invalid_argument(
+        "placement: machine capacity (" +
+        std::to_string(machines_.size() * per_machine) +
+        " GPUs) must equal world size (" + std::to_string(world) + ")");
+  }
+
+  rank_to_gpu_.reserve(world);
+  gpu_to_rank_.reserve(world);
+  for (std::uint32_t r = 0; r < world; ++r) {
+    const MachineId machine = machines_[r / per_machine];
+    const GpuId gpu(machine.value() * per_machine + r % per_machine);
+    rank_to_gpu_.push_back(gpu);
+    if (!gpu_to_rank_.emplace(gpu, RankId(r)).second) {
+      throw std::invalid_argument("placement: duplicate machine in list");
+    }
+  }
+
+  if (require_tp_intra_node) {
+    const auto& cfg = rank_map.config();
+    for (std::uint32_t p = 0; p < cfg.pp; ++p) {
+      for (std::uint32_t d = 0; d < cfg.dp; ++d) {
+        const auto group = rank_map.tp_group(d, p);
+        const MachineId first = topology.machine_of(gpu_of(group.front()));
+        for (const RankId r : group) {
+          if (topology.machine_of(gpu_of(r)) != first) {
+            throw std::invalid_argument(
+                "placement: TP group spans machines (tp must divide "
+                "gpus_per_machine with Megatron rank order)");
+          }
+        }
+      }
+    }
+  }
+}
+
+GpuId JobPlacement::gpu_of(RankId rank) const {
+  if (!rank.valid() || rank.value() >= rank_to_gpu_.size()) {
+    throw std::out_of_range("placement: rank out of range");
+  }
+  return rank_to_gpu_[rank.value()];
+}
+
+RankId JobPlacement::rank_of(GpuId gpu) const {
+  const auto it = gpu_to_rank_.find(gpu);
+  return it == gpu_to_rank_.end() ? RankId::invalid() : it->second;
+}
+
+std::vector<GpuId> JobPlacement::all_gpus() const { return rank_to_gpu_; }
+
+std::vector<std::pair<RankId, RankId>> ring_edges(
+    const std::vector<RankId>& group, std::uint32_t channel) {
+  std::vector<std::pair<RankId, RankId>> edges;
+  const std::size_t n = group.size();
+  if (n < 2) return edges;
+  if (n == 2) {
+    edges.emplace_back(group[0], group[1]);
+    return edges;
+  }
+
+  // Pick the (channel+1)-th smallest stride coprime with n; distinct strides
+  // below n/2 produce disjoint undirected ring edge sets.
+  std::uint32_t stride = 0;
+  std::uint32_t found = 0;
+  for (std::uint32_t s = 1; s < n; ++s) {
+    if (std::gcd(s, static_cast<std::uint32_t>(n)) == 1) {
+      stride = s;
+      if (found == channel) break;
+      ++found;
+    }
+  }
+
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + stride) % n;
+    edges.emplace_back(group[i], group[j]);
+  }
+  return edges;
+}
+
+}  // namespace llmprism

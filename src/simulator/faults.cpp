@@ -1,0 +1,48 @@
+#include "llmprism/simulator/faults.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace llmprism {
+
+FlowTrace apply_switch_degradation(
+    const FlowTrace& trace, const std::vector<SwitchDegradationSpec>& specs) {
+  for (const SwitchDegradationSpec& s : specs) {
+    if (s.bandwidth_factor <= 0.0 || s.bandwidth_factor > 1.0) {
+      throw std::invalid_argument(
+          "faults: bandwidth_factor must be in (0, 1]");
+    }
+  }
+
+  std::unordered_map<SwitchId, std::vector<const SwitchDegradationSpec*>>
+      by_switch;
+  for (const SwitchDegradationSpec& s : specs) {
+    by_switch[s.switch_id].push_back(&s);
+  }
+
+  FlowTrace out;
+  out.reserve(trace.size());
+  for (const FlowRecord& f : trace) {
+    FlowRecord copy = f;
+    double factor = 1.0;
+    for (const SwitchId sw : f.switches) {
+      const auto it = by_switch.find(sw);
+      if (it == by_switch.end()) continue;
+      for (const SwitchDegradationSpec* s : it->second) {
+        if (s->window.contains(f.start_time)) {
+          // A flow crossing several degraded hops is limited by the worst.
+          factor = std::min(factor, s->bandwidth_factor);
+        }
+      }
+    }
+    if (factor < 1.0) {
+      copy.duration = static_cast<DurationNs>(
+          static_cast<double>(copy.duration) / factor);
+    }
+    out.add(copy);
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,110 @@
+#include "llmprism/simulator/noise.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace llmprism {
+
+namespace {
+
+/// Per-pair truncation state for degraded pairs.
+struct PairDegradation {
+  bool degraded = false;
+  double truncation_prob = 0.0;
+};
+
+}  // namespace
+
+FlowTrace apply_noise(const FlowTrace& trace, const NoiseConfig& config,
+                      Rng& rng) {
+  if (!config.enabled()) {
+    FlowTrace copy = trace;
+    copy.sort();
+    return copy;
+  }
+
+  // ---- correlated burst truncation ----
+  // Decide per pair whether it is degraded; for degraded pairs walk their
+  // flows in time order, split into bursts at gaps, and with the pair's
+  // truncation probability keep only flows sharing the burst head's size.
+  std::vector<bool> keep(trace.size(), true);
+  if (config.degraded_pair_fraction > 0.0) {
+    const auto pair_index = build_pair_index(trace);
+    std::unordered_map<GpuPair, PairDegradation> degradation;
+    degradation.reserve(pair_index.size());
+    for (const auto& [pair, flow_idxs] : pair_index) {
+      PairDegradation d;
+      d.degraded = rng.bernoulli(config.degraded_pair_fraction);
+      if (d.degraded) {
+        d.truncation_prob =
+            rng.uniform(config.truncation_prob_min, config.truncation_prob_max);
+      }
+      if (!d.degraded) continue;
+
+      // flow_idxs preserve trace order; a sorted trace makes them
+      // chronological per pair.
+      std::size_t burst_start = 0;
+      while (burst_start < flow_idxs.size()) {
+        std::size_t burst_end = burst_start + 1;
+        while (burst_end < flow_idxs.size()) {
+          const TimeNs gap = trace[flow_idxs[burst_end]].start_time -
+                             trace[flow_idxs[burst_end - 1]].start_time;
+          if (gap > config.burst_gap) break;
+          ++burst_end;
+        }
+        if (rng.bernoulli(d.truncation_prob)) {
+          const std::uint64_t head_size = trace[flow_idxs[burst_start]].bytes;
+          for (std::size_t i = burst_start; i < burst_end; ++i) {
+            if (trace[flow_idxs[i]].bytes != head_size) {
+              keep[flow_idxs[i]] = false;
+            }
+          }
+        }
+        burst_start = burst_end;
+      }
+    }
+  }
+
+  FlowTrace out;
+  out.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!keep[i]) continue;
+    if (config.drop_rate > 0 && rng.bernoulli(config.drop_rate)) continue;
+
+    FlowRecord f = trace[i];
+    if (config.partial_record_rate > 0 &&
+        rng.bernoulli(config.partial_record_rate)) {
+      f.bytes = static_cast<std::uint64_t>(
+          std::max(1.0, static_cast<double>(f.bytes) *
+                            rng.uniform(0.1, 0.9)));
+      f.duration = static_cast<DurationNs>(
+          static_cast<double>(f.duration) * rng.uniform(0.1, 0.9));
+    }
+    if (config.size_jitter_rate > 0 &&
+        rng.bernoulli(config.size_jitter_rate)) {
+      const double factor =
+          1.0 + rng.uniform(-config.size_jitter_frac, config.size_jitter_frac);
+      f.bytes = static_cast<std::uint64_t>(
+          std::max(1.0, static_cast<double>(f.bytes) * factor));
+    }
+    if (config.time_jitter > 0) {
+      f.start_time += static_cast<TimeNs>(
+          rng.uniform(-static_cast<double>(config.time_jitter),
+                      static_cast<double>(config.time_jitter)));
+    }
+    out.add(f);
+
+    if (config.duplicate_rate > 0 &&
+        rng.bernoulli(config.duplicate_rate)) {
+      FlowRecord dup = f;
+      // Retransmissions show up shortly after the original.
+      dup.start_time += static_cast<TimeNs>(rng.uniform(0.0, 1e6));
+      out.add(dup);
+    }
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace llmprism

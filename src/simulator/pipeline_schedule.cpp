@@ -1,0 +1,137 @@
+#include "llmprism/simulator/pipeline_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace llmprism {
+
+namespace {
+
+/// The 1F1B op order for one stage: `warmup` forwards, then alternating
+/// (fwd, bwd) in the steady state, then cooldown backwards.
+std::vector<PipeOp> stage_op_order(std::uint32_t stage,
+                                   std::uint32_t num_stages,
+                                   std::uint32_t num_micro_batches) {
+  const std::uint32_t warmup =
+      std::min(num_micro_batches, num_stages - stage - 1);
+  std::vector<PipeOp> order;
+  order.reserve(2 * num_micro_batches);
+  for (std::uint32_t m = 0; m < warmup; ++m) {
+    order.push_back({PipeOpKind::kForward, stage, m, 0, 0});
+  }
+  for (std::uint32_t i = 0; i < num_micro_batches - warmup; ++i) {
+    order.push_back({PipeOpKind::kForward, stage, warmup + i, 0, 0});
+    order.push_back({PipeOpKind::kBackward, stage, i, 0, 0});
+  }
+  for (std::uint32_t m = num_micro_batches - warmup; m < num_micro_batches;
+       ++m) {
+    order.push_back({PipeOpKind::kBackward, stage, m, 0, 0});
+  }
+  return order;
+}
+
+}  // namespace
+
+TimeNs PipelineSchedule::backward_done(std::uint32_t stage) const {
+  TimeNs latest = std::numeric_limits<TimeNs>::min();
+  for (const PipeOp& op : ops.at(stage)) {
+    if (op.kind == PipeOpKind::kBackward) latest = std::max(latest, op.end);
+  }
+  return latest;
+}
+
+TimeNs PipelineSchedule::makespan_end() const {
+  TimeNs latest = std::numeric_limits<TimeNs>::min();
+  for (const auto& stage_ops : ops) {
+    for (const PipeOp& op : stage_ops) latest = std::max(latest, op.end);
+  }
+  return latest;
+}
+
+PipelineSchedule compute_1f1b_schedule(const PipelineScheduleInput& input) {
+  const std::uint32_t P = input.num_stages;
+  const std::uint32_t M = input.num_micro_batches;
+  if (P == 0 || M == 0) {
+    throw std::invalid_argument("1f1b: stages and micro-batches must be > 0");
+  }
+  auto check_matrix = [&](const std::vector<std::vector<DurationNs>>& m,
+                          const char* name) {
+    if (m.size() != P) {
+      throw std::invalid_argument(std::string("1f1b: ") + name +
+                                  " must have num_stages rows");
+    }
+    for (const auto& row : m) {
+      if (row.size() != M) {
+        throw std::invalid_argument(std::string("1f1b: ") + name +
+                                    " rows must have num_micro_batches cols");
+      }
+    }
+  };
+  check_matrix(input.fwd_time, "fwd_time");
+  check_matrix(input.bwd_time, "bwd_time");
+
+  PipelineSchedule schedule;
+  schedule.ops.resize(P);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    schedule.ops[s] = stage_op_order(s, P, M);
+  }
+
+  constexpr TimeNs kUnscheduled = std::numeric_limits<TimeNs>::min();
+  // fwd_end[s][m], bwd_end[s][m]: completion times, kUnscheduled until set.
+  std::vector<std::vector<TimeNs>> fwd_end(P,
+                                           std::vector<TimeNs>(M, kUnscheduled));
+  std::vector<std::vector<TimeNs>> bwd_end(P,
+                                           std::vector<TimeNs>(M, kUnscheduled));
+  std::vector<std::size_t> next_op(P, 0);
+  std::vector<TimeNs> stage_free(P, input.start_time);
+
+  // Worklist: repeatedly schedule the next in-order op of any stage whose
+  // cross-stage dependency is already timed. The 1F1B order is feasible, so
+  // every full pass schedules at least one op.
+  std::size_t remaining = static_cast<std::size_t>(2) * P * M;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      while (next_op[s] < schedule.ops[s].size()) {
+        PipeOp& op = schedule.ops[s][next_op[s]];
+        TimeNs dep_ready = input.start_time;
+        if (op.kind == PipeOpKind::kForward) {
+          if (s > 0) {
+            const TimeNs upstream = fwd_end[s - 1][op.micro_batch];
+            if (upstream == kUnscheduled) break;
+            dep_ready = upstream + input.transfer_time;
+          }
+        } else {
+          if (s + 1 < P) {
+            const TimeNs downstream = bwd_end[s + 1][op.micro_batch];
+            if (downstream == kUnscheduled) break;
+            dep_ready = downstream + input.transfer_time;
+          } else {
+            // Last stage: backward of m follows its own forward of m.
+            const TimeNs own_fwd = fwd_end[s][op.micro_batch];
+            if (own_fwd == kUnscheduled) break;
+            dep_ready = own_fwd;
+          }
+        }
+        op.start = std::max(stage_free[s], dep_ready);
+        const DurationNs cost = op.kind == PipeOpKind::kForward
+                                    ? input.fwd_time[s][op.micro_batch]
+                                    : input.bwd_time[s][op.micro_batch];
+        op.end = op.start + cost;
+        stage_free[s] = op.end;
+        (op.kind == PipeOpKind::kForward ? fwd_end : bwd_end)[s]
+            [op.micro_batch] = op.end;
+        ++next_op[s];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      throw std::logic_error("1f1b: schedule deadlocked (internal error)");
+    }
+  }
+  return schedule;
+}
+
+}  // namespace llmprism

@@ -1,0 +1,222 @@
+// Unit tests for Bayesian Online Changepoint Detection.
+#include "llmprism/bocd/bocd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "llmprism/common/rng.hpp"
+
+namespace llmprism {
+namespace {
+
+TEST(BocdConfigTest, RejectsBadHazard) {
+  BocdConfig cfg;
+  cfg.hazard_lambda = 1.0;
+  EXPECT_THROW(BocdDetector{cfg}, std::invalid_argument);
+}
+
+TEST(BocdConfigTest, RejectsBadThreshold) {
+  BocdConfig cfg;
+  cfg.changepoint_threshold = 1.0;
+  EXPECT_THROW(BocdDetector{cfg}, std::invalid_argument);
+  cfg.changepoint_threshold = 0.0;
+  EXPECT_THROW(BocdDetector{cfg}, std::invalid_argument);
+}
+
+TEST(BocdConfigTest, RejectsNonPositivePrior) {
+  BocdConfig cfg;
+  cfg.prior_kappa = 0.0;
+  EXPECT_THROW(BocdDetector{cfg}, std::invalid_argument);
+}
+
+TEST(BocdDetectorTest, FirstObservationIsNotAChangepoint) {
+  BocdDetector detector;
+  const double p = detector.observe(0.5);
+  EXPECT_LT(p, 0.5);
+  EXPECT_FALSE(detector.last_was_changepoint());
+}
+
+TEST(BocdDetectorTest, StationarySequenceHasNoChangepoints) {
+  Rng rng(7);
+  BocdDetector detector;
+  for (int i = 0; i < 500; ++i) {
+    detector.observe(rng.normal(10.0, 0.5));
+    EXPECT_FALSE(detector.last_was_changepoint()) << "at observation " << i;
+  }
+}
+
+TEST(BocdDetectorTest, RunLengthGrowsOnStationaryData) {
+  // Data tighter than the prior: longer runs fit ever better, so the MAP
+  // run length tracks the true (unbroken) run.
+  Rng rng(3);
+  BocdDetector detector;
+  for (int i = 0; i < 100; ++i) detector.observe(rng.normal(5.0, 0.3));
+  EXPECT_GT(detector.map_run_length(), 80u);
+}
+
+TEST(BocdDetectorTest, DetectsLargeMeanShift) {
+  Rng rng(11);
+  BocdDetector detector;
+  for (int i = 0; i < 50; ++i) detector.observe(rng.normal(0.0, 0.2));
+  // A 50-sigma jump must trip the detector immediately.
+  detector.observe(10.0);
+  EXPECT_TRUE(detector.last_was_changepoint());
+}
+
+TEST(BocdDetectorTest, ResetRestoresPriorState) {
+  BocdDetector detector;
+  for (int i = 0; i < 20; ++i) detector.observe(1.0 + 0.01 * i);
+  detector.reset();
+  EXPECT_EQ(detector.observations_seen(), 0u);
+  EXPECT_EQ(detector.map_run_length(), 0u);
+}
+
+TEST(BocdDetectorTest, SurvivesExtremeValues) {
+  BocdDetector detector;
+  detector.observe(1e30);
+  detector.observe(-1e30);
+  detector.observe(0.0);
+  // No NaNs/crashes; probability stays a probability.
+  EXPECT_GE(detector.last_cp_probability(), 0.0);
+  EXPECT_LE(detector.last_cp_probability(), 1.0);
+}
+
+TEST(BocdDetectorTest, IdenticalObservationsDoNotDivideByZero) {
+  BocdDetector detector;
+  for (int i = 0; i < 200; ++i) {
+    const double p = detector.observe(5.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+  EXPECT_GT(detector.map_run_length(), 150u);
+}
+
+TEST(DetectChangepointsTest, FindsSingleShift) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.normal(0.0, 0.3));
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.normal(8.0, 0.3));
+  const auto cps = detect_changepoints(xs);
+  ASSERT_FALSE(cps.empty());
+  // The first changepoint lands at (or just after) the true shift.
+  EXPECT_GE(cps.front(), 59u);
+  EXPECT_LE(cps.front(), 62u);
+}
+
+TEST(DetectChangepointsTest, EmptyInput) {
+  EXPECT_TRUE(detect_changepoints({}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// segment_by_gaps: the step-division workhorse.
+
+std::vector<TimeNs> burst_train(int bursts, int flows_per_burst,
+                                DurationNs intra_gap, DurationNs inter_gap,
+                                Rng& rng) {
+  std::vector<TimeNs> ts;
+  TimeNs t = 0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int f = 0; f < flows_per_burst; ++f) {
+      ts.push_back(t);
+      t += intra_gap + static_cast<TimeNs>(
+                           rng.uniform(0.0, 0.2 * static_cast<double>(intra_gap)));
+    }
+    t += inter_gap;
+  }
+  return ts;
+}
+
+TEST(SegmentByGapsTest, SplitsBurstsExactly) {
+  Rng rng(5);
+  // 10 bursts of 20 flows, 1 ms apart within a burst, 2 s between bursts —
+  // the shape of per-pair DP traffic.
+  const auto ts = burst_train(10, 20, kMillisecond, 2 * kSecond, rng);
+  const auto starts = segment_by_gaps(ts);
+  ASSERT_EQ(starts.size(), 10u);
+  for (std::size_t b = 0; b < starts.size(); ++b) {
+    EXPECT_EQ(starts[b], b * 20) << "burst " << b;
+  }
+}
+
+TEST(SegmentByGapsTest, SingleBurstYieldsOneSegment) {
+  Rng rng(6);
+  const auto ts = burst_train(1, 50, kMillisecond, 0, rng);
+  const auto starts = segment_by_gaps(ts);
+  EXPECT_EQ(starts.size(), 1u);
+}
+
+TEST(SegmentByGapsTest, EmptyAndSingleton) {
+  EXPECT_TRUE(segment_by_gaps({}).empty());
+  const std::vector<TimeNs> one{42};
+  const auto starts = segment_by_gaps(one);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 0u);
+}
+
+TEST(SegmentByGapsTest, ThrowsOnUnsortedInput) {
+  const std::vector<TimeNs> ts{10, 5, 20};
+  EXPECT_THROW(segment_by_gaps(ts), std::invalid_argument);
+}
+
+TEST(SegmentByGapsTest, RobustToIntervalJitter) {
+  Rng rng(9);
+  std::vector<TimeNs> ts;
+  TimeNs t = 0;
+  for (int b = 0; b < 8; ++b) {
+    for (int f = 0; f < 30; ++f) {
+      ts.push_back(t);
+      // within-burst intervals vary 0.5–3 ms
+      t += static_cast<TimeNs>(rng.uniform(0.5e6, 3e6));
+    }
+    t += 3 * kSecond;
+  }
+  const auto starts = segment_by_gaps(ts);
+  EXPECT_EQ(starts.size(), 8u);
+}
+
+TEST(SegmentByGapsTest, MinimalWarmupGap) {
+  // The smallest warm-up BOCD can honestly split on: enough pre-gap
+  // intervals to learn that traffic is tight (a gap after a single
+  // observation is statistically indistinguishable from a broad run).
+  std::vector<TimeNs> ts;
+  for (int i = 0; i < 8; ++i) ts.push_back(i * 2 * kMillisecond);
+  const TimeNs gap_start = ts.back() + 5 * kSecond;
+  for (int i = 0; i < 4; ++i) ts.push_back(gap_start + i * 2 * kMillisecond);
+  const auto starts = segment_by_gaps(ts);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1], 8u);
+}
+
+// Property sweep: segmentation recovers the burst count across a range of
+// burst shapes.
+struct GapSweepParam {
+  int bursts;
+  int flows_per_burst;
+  DurationNs intra_gap;
+  DurationNs inter_gap;
+};
+
+class SegmentByGapsSweep : public ::testing::TestWithParam<GapSweepParam> {};
+
+TEST_P(SegmentByGapsSweep, RecoversBurstCount) {
+  const auto p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.bursts * 1000 + p.flows_per_burst));
+  const auto ts =
+      burst_train(p.bursts, p.flows_per_burst, p.intra_gap, p.inter_gap, rng);
+  const auto starts = segment_by_gaps(ts);
+  EXPECT_EQ(starts.size(), static_cast<std::size_t>(p.bursts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SegmentByGapsSweep,
+    ::testing::Values(
+        GapSweepParam{5, 10, kMillisecond, kSecond},
+        GapSweepParam{20, 8, kMillisecond, 500 * kMillisecond},
+        GapSweepParam{3, 100, 100 * kMicrosecond, 2 * kSecond},
+        GapSweepParam{50, 16, 2 * kMillisecond, 800 * kMillisecond},
+        GapSweepParam{10, 8, 10 * kMillisecond, 4 * kSecond},
+        GapSweepParam{7, 64, 500 * kMicrosecond, kSecond}));
+
+}  // namespace
+}  // namespace llmprism

@@ -1,0 +1,240 @@
+// Unit tests for flow records, traces and CSV I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "llmprism/common/csv.hpp"
+#include "llmprism/flow/io.hpp"
+#include "llmprism/flow/trace.hpp"
+
+namespace llmprism {
+namespace {
+
+FlowRecord make_flow(TimeNs t, std::uint32_t src, std::uint32_t dst,
+                     std::uint64_t bytes = 1000, DurationNs dur = 100) {
+  FlowRecord f;
+  f.start_time = t;
+  f.src = GpuId(src);
+  f.dst = GpuId(dst);
+  f.bytes = bytes;
+  f.duration = dur;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// FlowRecord
+
+TEST(FlowRecordTest, EndTimeAndPair) {
+  const auto f = make_flow(100, 1, 2, 5000, 50);
+  EXPECT_EQ(f.end_time(), 150);
+  EXPECT_EQ(f.pair(), GpuPair(GpuId(2), GpuId(1)));
+}
+
+TEST(FlowRecordTest, BandwidthGbps) {
+  // 250 bytes in 100 ns = 2000 bits / 100 ns = 20 Gb/s.
+  const auto f = make_flow(0, 1, 2, 250, 100);
+  EXPECT_DOUBLE_EQ(f.bandwidth_gbps(), 20.0);
+  const auto zero = make_flow(0, 1, 2, 250, 0);
+  EXPECT_DOUBLE_EQ(zero.bandwidth_gbps(), 0.0);
+}
+
+TEST(FlowStartTimeLessTest, OrdersByTimeThenEndpoints) {
+  const FlowStartTimeLess less;
+  EXPECT_TRUE(less(make_flow(1, 9, 9), make_flow(2, 0, 0)));
+  EXPECT_TRUE(less(make_flow(1, 1, 5), make_flow(1, 2, 0)));
+  EXPECT_FALSE(less(make_flow(1, 1, 1), make_flow(1, 1, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// FlowTrace
+
+TEST(FlowTraceTest, SortAndIsSorted) {
+  FlowTrace t;
+  t.add(make_flow(30, 1, 2));
+  t.add(make_flow(10, 1, 2));
+  t.add(make_flow(20, 1, 2));
+  EXPECT_FALSE(t.is_sorted());
+  t.sort();
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t[0].start_time, 10);
+  EXPECT_EQ(t[2].start_time, 30);
+}
+
+TEST(FlowTraceTest, WindowSelectsHalfOpenRange) {
+  FlowTrace t;
+  for (TimeNs i = 0; i < 10; ++i) t.add(make_flow(i * 100, 1, 2));
+  t.sort();
+  const auto w = t.window({200, 500});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].start_time, 200);
+  EXPECT_EQ(w[2].start_time, 400);
+}
+
+TEST(FlowTraceTest, WindowOnUnsortedThrows) {
+  FlowTrace t;
+  t.add(make_flow(30, 1, 2));
+  t.add(make_flow(10, 1, 2));
+  EXPECT_THROW(t.window({0, 100}), std::logic_error);
+}
+
+TEST(FlowTraceTest, WindowEmptyResult) {
+  FlowTrace t;
+  t.add(make_flow(100, 1, 2));
+  t.sort();
+  EXPECT_TRUE(t.window({200, 300}).empty());
+  EXPECT_TRUE(FlowTrace{}.window({0, 100}).empty());
+}
+
+TEST(FlowTraceTest, SpanCoversFlows) {
+  FlowTrace t;
+  t.add(make_flow(100, 1, 2, 10, 50));
+  t.add(make_flow(300, 1, 2, 10, 500));
+  const auto s = t.span();
+  EXPECT_EQ(s.begin, 100);
+  EXPECT_EQ(s.end, 800);
+  EXPECT_EQ(FlowTrace{}.span().length(), 0);
+}
+
+TEST(FlowTraceTest, AppendConcatenates) {
+  FlowTrace a, b;
+  a.add(make_flow(1, 1, 2));
+  b.add(make_flow(2, 3, 4));
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(FlowTraceIndexTest, PairIndexGroupsBothDirections) {
+  FlowTrace t;
+  t.add(make_flow(1, 1, 2));
+  t.add(make_flow(2, 2, 1));  // reverse direction, same pair
+  t.add(make_flow(3, 1, 3));
+  const auto idx = build_pair_index(t);
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.at(GpuPair(GpuId(1), GpuId(2))).size(), 2u);
+  EXPECT_EQ(idx.at(GpuPair(GpuId(1), GpuId(3))).size(), 1u);
+}
+
+TEST(FlowTraceIndexTest, SwitchIndexCountsEveryHop) {
+  FlowTrace t;
+  auto f = make_flow(1, 1, 2);
+  f.switches.push_back(SwitchId(0));
+  f.switches.push_back(SwitchId(5));
+  t.add(f);
+  const auto idx = build_switch_index(t);
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.at(SwitchId(0)).size(), 1u);
+  EXPECT_EQ(idx.at(SwitchId(5)).size(), 1u);
+}
+
+TEST(FlowTraceIndexTest, EndpointsAndPairs) {
+  FlowTrace t;
+  t.add(make_flow(1, 1, 2));
+  t.add(make_flow(2, 2, 1));
+  t.add(make_flow(3, 2, 3));
+  EXPECT_EQ(endpoints(t).size(), 3u);
+  EXPECT_EQ(communication_pairs(t).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV primitives
+
+TEST(CsvTest, ParseSimpleLine) {
+  const auto fields = csv::parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  const auto fields = csv::parse_line(R"(1,"two, three","he said ""hi""")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "two, three");
+  EXPECT_EQ(fields[2], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  const auto fields = csv::parse_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(csv::parse_line("\"oops"), std::runtime_error);
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  const std::string nasty = R"(a,"b" c)";
+  const auto escaped = csv::escape_field(nasty);
+  const auto parsed = csv::parse_line(escaped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], nasty);
+}
+
+TEST(CsvTest, ReadAllSkipsBlankLines) {
+  std::istringstream is("a,b\n\nc,d\n");
+  const auto rows = csv::read_all(is);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Flow CSV I/O
+
+TEST(FlowIoTest, RoundTripPreservesEverything) {
+  FlowTrace t;
+  auto f1 = make_flow(123456789, 7, 9, 1ull << 33, 42000);
+  f1.switches.push_back(SwitchId(3));
+  f1.switches.push_back(SwitchId(17));
+  f1.switches.push_back(SwitchId(4));
+  t.add(f1);
+  t.add(make_flow(-5, 0, 1));  // negative time (pre-epoch) allowed
+
+  std::stringstream ss;
+  write_csv(ss, t);
+  const FlowTrace back = read_csv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], t[0]);
+  EXPECT_EQ(back[1], t[1]);
+}
+
+TEST(FlowIoTest, EmptyTraceRoundTrip) {
+  std::stringstream ss;
+  write_csv(ss, FlowTrace{});
+  EXPECT_TRUE(read_csv(ss).empty());
+}
+
+TEST(FlowIoTest, MissingHeaderThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(read_csv(is), std::runtime_error);
+}
+
+TEST(FlowIoTest, WrongFieldCountThrows) {
+  std::istringstream is("start_ns,src,dst,bytes,duration_ns,switches\n1,2,3\n");
+  EXPECT_THROW(read_csv(is), std::runtime_error);
+}
+
+TEST(FlowIoTest, BadNumberThrows) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n1,x,3,4,5,\n");
+  EXPECT_THROW(read_csv(is), std::runtime_error);
+}
+
+TEST(FlowIoTest, EmptySwitchListParses) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n1,2,3,4,5,\n");
+  const auto t = read_csv(is);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t[0].switches.empty());
+}
+
+TEST(FlowIoTest, FileRoundTrip) {
+  FlowTrace t;
+  t.add(make_flow(1, 2, 3));
+  const std::string path = ::testing::TempDir() + "/flows_test.csv";
+  write_csv_file(path, t);
+  const auto back = read_csv_file(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], t[0]);
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace llmprism

@@ -1,0 +1,148 @@
+// Tests for the online streaming monitor.
+#include "llmprism/core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "llmprism/simulator/cluster_sim.hpp"
+
+namespace llmprism {
+namespace {
+
+ClusterSimResult simulate(std::uint32_t steps = 20,
+                          std::vector<StragglerSpec> stragglers = {}) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 8, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  JobSimConfig job;
+  job.parallelism = {.tp = 8, .dp = 2, .pp = 2, .micro_batches = 4};
+  job.num_steps = steps;
+  job.stragglers = std::move(stragglers);
+  cfg.jobs.push_back({job, {}});
+  return run_cluster_sim(cfg);
+}
+
+TEST(OnlineMonitorTest, RejectsBadConfig) {
+  const auto sim = simulate(2);
+  EXPECT_THROW(OnlineMonitor(sim.topology, {.window = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(OnlineMonitor(sim.topology, {.reorder_slack = -1}),
+               std::invalid_argument);
+}
+
+TEST(OnlineMonitorTest, WindowsCoverTheFeed) {
+  const auto sim = simulate(20);
+  MonitorConfig cfg;
+  cfg.window = 2 * kSecond;
+  OnlineMonitor monitor(sim.topology, cfg);
+  auto ticks = monitor.ingest(sim.trace);
+  const auto last = monitor.flush();
+  ASSERT_TRUE(last.has_value());
+  ticks.push_back(*last);
+
+  // Windows tile the trace span contiguously.
+  ASSERT_GE(ticks.size(), 3u);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i].window.begin, ticks[i - 1].window.end);
+  }
+  EXPECT_EQ(monitor.stats().flows_ingested, sim.trace.size());
+  EXPECT_EQ(monitor.stats().windows_completed, ticks.size());
+}
+
+TEST(OnlineMonitorTest, EveryWindowSeesTheJob) {
+  const auto sim = simulate(20);
+  MonitorConfig cfg;
+  cfg.window = 3 * kSecond;
+  cfg.prism.reconstruct_timelines = false;
+  OnlineMonitor monitor(sim.topology, cfg);
+  auto ticks = monitor.ingest(sim.trace);
+  ASSERT_FALSE(ticks.empty());
+  for (const MonitorTick& tick : ticks) {
+    EXPECT_EQ(tick.report.jobs.size(), 1u) << "window at "
+                                           << to_seconds(tick.window.begin);
+  }
+}
+
+TEST(OnlineMonitorTest, JobIdentityIsStableAcrossWindows) {
+  const auto sim = simulate(20);
+  MonitorConfig cfg;
+  cfg.window = 2 * kSecond;
+  cfg.prism.reconstruct_timelines = false;
+  OnlineMonitor monitor(sim.topology, cfg);
+  auto ticks = monitor.ingest(sim.trace);
+  const auto last = monitor.flush();
+  if (last) ticks.push_back(*last);
+  ASSERT_GE(ticks.size(), 2u);
+  MonitorJobId first_id = ticks[0].job_ids.at(0);
+  for (const MonitorTick& tick : ticks) {
+    ASSERT_EQ(tick.job_ids.size(), 1u);
+    EXPECT_EQ(tick.job_ids[0], first_id);
+  }
+  EXPECT_EQ(monitor.jobs_seen(), 1u);
+  EXPECT_EQ(monitor.stats().job_windows.at(first_id), ticks.size());
+}
+
+TEST(OnlineMonitorTest, IncrementalBatchesMatchOneShot) {
+  const auto sim = simulate(12);
+  MonitorConfig cfg;
+  cfg.window = 2 * kSecond;
+  cfg.prism.reconstruct_timelines = false;
+
+  OnlineMonitor one_shot(sim.topology, cfg);
+  auto expected = one_shot.ingest(sim.trace);
+
+  OnlineMonitor incremental(sim.topology, cfg);
+  std::vector<MonitorTick> got;
+  const std::size_t chunk = sim.trace.size() / 7 + 1;
+  for (std::size_t at = 0; at < sim.trace.size(); at += chunk) {
+    FlowTrace batch;
+    for (std::size_t i = at; i < std::min(at + chunk, sim.trace.size());
+         ++i) {
+      batch.add(sim.trace[i]);
+    }
+    for (auto& t : incremental.ingest(batch)) got.push_back(std::move(t));
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].window.begin, expected[i].window.begin);
+    EXPECT_EQ(got[i].report.jobs.size(), expected[i].report.jobs.size());
+  }
+}
+
+TEST(OnlineMonitorTest, FlushOnEmptyIsNullopt) {
+  const auto sim = simulate(2);
+  OnlineMonitor monitor(sim.topology);
+  EXPECT_FALSE(monitor.flush().has_value());
+}
+
+TEST(OnlineMonitorTest, AlertsAccumulateInStats) {
+  // Straggler in the middle of the run; window sized to hold many steps so
+  // the cross-step detector has a baseline.
+  const auto sim = simulate(
+      24, {{.rank = 3, .step_begin = 12, .step_end = 12, .slowdown = 2.5}});
+  MonitorConfig cfg;
+  cfg.window = 60 * kSecond;  // whole run in one window
+  OnlineMonitor monitor(sim.topology, cfg);
+  monitor.ingest(sim.trace);
+  const auto tick = monitor.flush();
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_GT(monitor.stats().step_alerts, 0u);
+}
+
+TEST(OnlineMonitorTest, LateFlowsBeyondSlackAreDropped) {
+  const auto sim = simulate(8);
+  MonitorConfig cfg;
+  cfg.window = kSecond;
+  cfg.reorder_slack = 100 * kMillisecond;
+  OnlineMonitor monitor(sim.topology, cfg);
+  monitor.ingest(sim.trace);
+  // Replay the first flow far in the past: it must be silently dropped.
+  FlowTrace late;
+  late.add(sim.trace[0]);
+  const auto before = monitor.stats().flows_ingested;
+  monitor.ingest(late);
+  EXPECT_EQ(monitor.stats().flows_ingested, before);
+  EXPECT_EQ(monitor.stats().flows_dropped_late, 1u);
+}
+
+}  // namespace
+}  // namespace llmprism

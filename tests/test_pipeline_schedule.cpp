@@ -1,0 +1,200 @@
+// Unit tests for the 1F1B pipeline schedule.
+#include "llmprism/simulator/pipeline_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace llmprism {
+namespace {
+
+PipelineScheduleInput uniform_input(std::uint32_t P, std::uint32_t M,
+                                    DurationNs f, DurationNs b,
+                                    DurationNs transfer = 0) {
+  PipelineScheduleInput in;
+  in.num_stages = P;
+  in.num_micro_batches = M;
+  in.fwd_time.assign(P, std::vector<DurationNs>(M, f));
+  in.bwd_time.assign(P, std::vector<DurationNs>(M, b));
+  in.transfer_time = transfer;
+  return in;
+}
+
+TEST(PipelineScheduleTest, RejectsZeroStages) {
+  auto in = uniform_input(1, 1, 10, 20);
+  in.num_stages = 0;
+  EXPECT_THROW(compute_1f1b_schedule(in), std::invalid_argument);
+}
+
+TEST(PipelineScheduleTest, RejectsWrongMatrixShape) {
+  auto in = uniform_input(2, 3, 10, 20);
+  in.fwd_time.pop_back();
+  EXPECT_THROW(compute_1f1b_schedule(in), std::invalid_argument);
+}
+
+TEST(PipelineScheduleTest, SingleStageIsSerialFwdBwd) {
+  // P=1 degenerates to fwd(m), bwd(m) strictly alternating.
+  const auto sched = compute_1f1b_schedule(uniform_input(1, 4, 10, 20));
+  ASSERT_EQ(sched.ops.size(), 1u);
+  const auto& ops = sched.ops[0];
+  ASSERT_EQ(ops.size(), 8u);
+  TimeNs t = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].start, t);
+    const bool is_fwd = i % 2 == 0;
+    EXPECT_EQ(ops[i].kind,
+              is_fwd ? PipeOpKind::kForward : PipeOpKind::kBackward);
+    EXPECT_EQ(ops[i].micro_batch, i / 2);
+    t += is_fwd ? 10 : 20;
+  }
+  EXPECT_EQ(sched.makespan_end(), 4 * (10 + 20));
+}
+
+TEST(PipelineScheduleTest, EveryOpScheduledExactlyOnce) {
+  const auto sched = compute_1f1b_schedule(uniform_input(4, 8, 10, 20, 1));
+  std::map<std::pair<int, int>, int> fwd_count, bwd_count;
+  for (const auto& stage_ops : sched.ops) {
+    for (const PipeOp& op : stage_ops) {
+      auto& counts = op.kind == PipeOpKind::kForward ? fwd_count : bwd_count;
+      ++counts[{static_cast<int>(op.stage),
+                static_cast<int>(op.micro_batch)}];
+    }
+  }
+  EXPECT_EQ(fwd_count.size(), 32u);
+  EXPECT_EQ(bwd_count.size(), 32u);
+  for (const auto& [k, c] : fwd_count) EXPECT_EQ(c, 1);
+  for (const auto& [k, c] : bwd_count) EXPECT_EQ(c, 1);
+}
+
+TEST(PipelineScheduleTest, RespectsForwardDependencies) {
+  const auto sched = compute_1f1b_schedule(uniform_input(4, 6, 10, 20, 3));
+  std::map<std::pair<int, int>, TimeNs> fwd_end, bwd_end;
+  std::map<std::pair<int, int>, TimeNs> fwd_start, bwd_start;
+  for (const auto& stage_ops : sched.ops) {
+    for (const PipeOp& op : stage_ops) {
+      const auto key = std::make_pair(static_cast<int>(op.stage),
+                                      static_cast<int>(op.micro_batch));
+      if (op.kind == PipeOpKind::kForward) {
+        fwd_end[key] = op.end;
+        fwd_start[key] = op.start;
+      } else {
+        bwd_end[key] = op.end;
+        bwd_start[key] = op.start;
+      }
+    }
+  }
+  for (int s = 1; s < 4; ++s) {
+    for (int m = 0; m < 6; ++m) {
+      const auto key = std::make_pair(s, m);
+      const auto up = std::make_pair(s - 1, m);
+      EXPECT_GE(fwd_start[key], fwd_end[up] + 3)
+          << "fwd(" << s << "," << m << ")";
+    }
+  }
+  for (int s = 0; s < 3; ++s) {
+    for (int m = 0; m < 6; ++m) {
+      const auto key = std::make_pair(s, m);
+      const auto down = std::make_pair(s + 1, m);
+      EXPECT_GE(bwd_start[key], bwd_end[down] + 3)
+          << "bwd(" << s << "," << m << ")";
+    }
+  }
+  // Backward of a micro-batch never precedes its own forward on a stage.
+  for (int s = 0; s < 4; ++s) {
+    for (int m = 0; m < 6; ++m) {
+      const auto key = std::make_pair(s, m);
+      EXPECT_GE(bwd_start[key], fwd_end[key]);
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, StageOpsAreSerialized) {
+  const auto sched = compute_1f1b_schedule(uniform_input(4, 8, 7, 13, 2));
+  for (const auto& stage_ops : sched.ops) {
+    for (std::size_t i = 1; i < stage_ops.size(); ++i) {
+      EXPECT_GE(stage_ops[i].start, stage_ops[i - 1].end);
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, ClassicMakespanFormula) {
+  // With equal f+b across stages and zero transfer, 1F1B completes in
+  // (M + P - 1) * (f + b) (textbook non-interleaved 1F1B makespan).
+  const DurationNs f = 10, b = 20;
+  for (std::uint32_t P : {2u, 4u, 8u}) {
+    for (std::uint32_t M : {4u, 8u, 16u}) {
+      if (M < P) continue;
+      const auto sched = compute_1f1b_schedule(uniform_input(P, M, f, b));
+      EXPECT_EQ(sched.makespan_end(),
+                static_cast<TimeNs>((M + P - 1) * (f + b)))
+          << "P=" << P << " M=" << M;
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, BackwardDoneIsLastBackward) {
+  const auto sched = compute_1f1b_schedule(uniform_input(3, 5, 10, 20, 1));
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    TimeNs latest = 0;
+    for (const PipeOp& op : sched.ops[s]) {
+      if (op.kind == PipeOpKind::kBackward) latest = std::max(latest, op.end);
+    }
+    EXPECT_EQ(sched.backward_done(s), latest);
+  }
+  // Stage 0 finishes backward last (gradients flow upstream).
+  EXPECT_GE(sched.backward_done(0), sched.backward_done(2));
+}
+
+TEST(PipelineScheduleTest, StartTimeOffsetsEverything) {
+  auto in = uniform_input(2, 3, 10, 20, 1);
+  const auto base = compute_1f1b_schedule(in);
+  in.start_time = 1000;
+  const auto shifted = compute_1f1b_schedule(in);
+  for (std::size_t s = 0; s < 2; ++s) {
+    ASSERT_EQ(base.ops[s].size(), shifted.ops[s].size());
+    for (std::size_t i = 0; i < base.ops[s].size(); ++i) {
+      EXPECT_EQ(shifted.ops[s][i].start, base.ops[s][i].start + 1000);
+      EXPECT_EQ(shifted.ops[s][i].end, base.ops[s][i].end + 1000);
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, FewerMicroBatchesThanStages) {
+  // M < P exercises the warmup = M clamp.
+  const auto sched = compute_1f1b_schedule(uniform_input(8, 2, 10, 20, 1));
+  std::size_t total = 0;
+  for (const auto& ops : sched.ops) total += ops.size();
+  EXPECT_EQ(total, 2u * 8 * 2);
+}
+
+// Parameterized sweep: schedule validity invariants over many shapes.
+class ScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScheduleSweep, InvariantsHold) {
+  const auto [P, M, transfer] = GetParam();
+  const auto sched = compute_1f1b_schedule(uniform_input(
+      static_cast<std::uint32_t>(P), static_cast<std::uint32_t>(M), 11, 23,
+      transfer));
+  // per-stage serialization + op count
+  std::size_t total = 0;
+  for (const auto& ops : sched.ops) {
+    total += ops.size();
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      ASSERT_GE(ops[i].start, ops[i - 1].end);
+    }
+    for (const PipeOp& op : ops) {
+      ASSERT_GE(op.end, op.start);
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(2 * P * M));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScheduleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8, 16),
+                       ::testing::Values(1, 2, 4, 8, 32),
+                       ::testing::Values(0, 5)));
+
+}  // namespace
+}  // namespace llmprism

@@ -1,0 +1,145 @@
+// Unit tests for timeline/report rendering.
+#include "llmprism/core/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace llmprism {
+namespace {
+
+GpuTimeline sample_timeline() {
+  GpuTimeline t;
+  t.gpu = GpuId(3);
+  t.events.push_back(
+      {TimelineEventKind::kCompute, 0, 40 * kMillisecond, GpuId()});
+  t.events.push_back({TimelineEventKind::kPpSend, 40 * kMillisecond,
+                      50 * kMillisecond, GpuId(7)});
+  t.events.push_back({TimelineEventKind::kCompute, 50 * kMillisecond,
+                      80 * kMillisecond, GpuId()});
+  t.events.push_back({TimelineEventKind::kDp, 80 * kMillisecond,
+                      100 * kMillisecond, GpuId(11)});
+  return t;
+}
+
+TEST(RenderLaneTest, PaintsAllEventKinds) {
+  const std::string lane = render_timeline_lane(sample_timeline(),
+                                                {.width = 50});
+  EXPECT_NE(lane.find("gpu 3"), std::string::npos);
+  EXPECT_NE(lane.find('C'), std::string::npos);
+  EXPECT_NE(lane.find('>'), std::string::npos);
+  EXPECT_NE(lane.find('D'), std::string::npos);
+}
+
+TEST(RenderLaneTest, RespectsWidth) {
+  const std::string lane =
+      render_timeline_lane(sample_timeline(), {.width = 30});
+  // "gpu 3 |" + 30 chars + "|"
+  EXPECT_EQ(lane.size(), std::string("gpu 3 |").size() + 30 + 1);
+}
+
+TEST(RenderLaneTest, EmptyTimelineIsAllIdle) {
+  GpuTimeline t;
+  t.gpu = GpuId(0);
+  const std::string lane = render_timeline_lane(t, {.width = 10});
+  EXPECT_NE(lane.find(".........."), std::string::npos);
+}
+
+TEST(RenderLaneTest, WindowClipsEvents) {
+  const auto t = sample_timeline();
+  // Window covering only the DP event.
+  const std::string lane = render_timeline_lane(
+      t, {.width = 10, .window = {80 * kMillisecond, 100 * kMillisecond}});
+  EXPECT_NE(lane.find('D'), std::string::npos);
+  EXPECT_EQ(lane.find('>'), std::string::npos);
+}
+
+TEST(RenderChartTest, MultipleLanesShareAxis) {
+  auto a = sample_timeline();
+  auto b = sample_timeline();
+  b.gpu = GpuId(4);
+  const std::vector<GpuTimeline> ts{a, b};
+  const std::string chart = render_timeline_chart(std::span(ts), {.width = 40});
+  EXPECT_NE(chart.find("gpu 3"), std::string::npos);
+  EXPECT_NE(chart.find("gpu 4"), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+}
+
+TEST(RenderChartTest, EmptyInput) {
+  EXPECT_EQ(render_timeline_chart({}), "(no timelines)\n");
+}
+
+TEST(WriteTimelineJsonTest, OneLinePerEvent) {
+  const auto t = sample_timeline();
+  const std::vector<GpuTimeline> ts{t};
+  std::ostringstream oss;
+  write_timeline_json(oss, std::span(ts));
+  const std::string json = oss.str();
+  std::size_t lines = 0;
+  for (const char c : json) lines += c == '\n';
+  EXPECT_EQ(lines, t.events.size());
+  EXPECT_NE(json.find("\"kind\":\"pp_send\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer\":7"), std::string::npos);
+  // compute events have no peer field
+  EXPECT_NE(json.find("\"kind\":\"compute\",\"start_ns\":0"),
+            std::string::npos);
+}
+
+TEST(WriteReportJsonTest, SerializesJobsAndAlerts) {
+  PrismReport report;
+  report.recognition.num_cross_machine_clusters = 5;
+  JobAnalysis job;
+  job.id = JobId(0);
+  job.job.gpus = {GpuId(0), GpuId(1)};
+  job.job.machines = {MachineId(0)};
+  job.inferred = {.world_size = 2, .dp = 2, .pp = 1, .tp = 1,
+                  .micro_batches = 4};
+  StepAlert alert;
+  alert.gpu = GpuId(1);
+  alert.step_index = 7;
+  alert.duration_s = 2.0;
+  alert.mean_s = 1.0;
+  job.step_alerts.push_back(alert);
+  report.jobs.push_back(std::move(job));
+  report.switch_bandwidth_gbps.emplace_back(SwitchId(3), 150.5);
+  SwitchBandwidthAlert sw_alert;
+  sw_alert.switch_id = SwitchId(3);
+  sw_alert.bandwidth_gbps = 42.0;
+  report.switch_bandwidth_alerts.push_back(sw_alert);
+
+  std::ostringstream oss;
+  write_report_json(oss, report);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"cross_machine_clusters\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"layout\":{\"tp\":1,\"dp\":2,\"pp\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"step\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"3\":150.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bandwidth_gbps\":42"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(WriteReportJsonTest, EmptyReport) {
+  std::ostringstream oss;
+  write_report_json(oss, PrismReport{});
+  EXPECT_NE(oss.str().find("\"jobs\":[]"), std::string::npos);
+}
+
+TEST(EventKindToStringTest, AllKindsNamed) {
+  EXPECT_EQ(to_string(TimelineEventKind::kPpSend), "pp_send");
+  EXPECT_EQ(to_string(TimelineEventKind::kPpRecv), "pp_recv");
+  EXPECT_EQ(to_string(TimelineEventKind::kDp), "dp");
+  EXPECT_EQ(to_string(TimelineEventKind::kCompute), "compute");
+  EXPECT_EQ(to_string(CommType::kPP), "PP");
+  EXPECT_EQ(to_string(CommType::kDP), "DP");
+}
+
+}  // namespace
+}  // namespace llmprism

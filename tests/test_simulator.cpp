@@ -1,0 +1,315 @@
+// Tests for the training-job / cluster simulator: the generated traces must
+// actually exhibit the three communication characteristics LLMPrism
+// exploits (spatial stability, temporal periodicity, DP/PP signatures).
+#include "llmprism/simulator/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "llmprism/simulator/job_sim.hpp"
+
+namespace llmprism {
+namespace {
+
+ClusterTopology small_topology(std::uint32_t machines = 8) {
+  TopologyConfig tc;
+  tc.num_machines = machines;
+  tc.gpus_per_machine = 8;
+  tc.machines_per_leaf = 4;
+  tc.num_spines = 2;
+  return ClusterTopology::build(tc);
+}
+
+JobSimConfig small_job(std::uint32_t tp = 8, std::uint32_t dp = 2,
+                       std::uint32_t pp = 2, std::uint32_t steps = 6) {
+  JobSimConfig cfg;
+  cfg.parallelism.tp = tp;
+  cfg.parallelism.dp = dp;
+  cfg.parallelism.pp = pp;
+  cfg.parallelism.micro_batches = 4;
+  cfg.num_steps = steps;
+  return cfg;
+}
+
+std::vector<MachineId> machines(std::uint32_t from, std::uint32_t count) {
+  std::vector<MachineId> out;
+  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(from + i);
+  return out;
+}
+
+TEST(JobSimConfigTest, ValidatesBadConfigs) {
+  JobSimConfig cfg = small_job();
+  cfg.num_steps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = small_job();
+  cfg.link_bandwidth_gbps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = small_job();
+  cfg.stragglers.push_back({.rank = 9999, .step_begin = 0, .step_end = 1,
+                            .slowdown = 2.0});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = small_job();
+  cfg.slow_dp_groups.push_back(
+      {.tp_idx = 99, .pp_idx = 0, .step_begin = 0, .step_end = 1,
+       .slowdown = 2.0});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(JobSimTest, FlowsAreCrossMachineOnly) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(), machines(0, 4), topo);
+  Rng rng(1);
+  const auto result = sim.run(rng);
+  ASSERT_GT(result.trace.size(), 0u);
+  for (const FlowRecord& f : result.trace) {
+    EXPECT_FALSE(topo.same_machine(f.src, f.dst));
+    EXPECT_FALSE(f.switches.empty());
+  }
+}
+
+TEST(JobSimTest, SpatialStability_FlowsStayInsideTheJob) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(), machines(2, 4), topo);
+  Rng rng(2);
+  const auto result = sim.run(rng);
+  const std::unordered_set<GpuId> members(result.truth.gpus.begin(),
+                                          result.truth.gpus.end());
+  for (const FlowRecord& f : result.trace) {
+    EXPECT_TRUE(members.count(f.src)) << f.src;
+    EXPECT_TRUE(members.count(f.dst)) << f.dst;
+  }
+}
+
+TEST(JobSimTest, EveryFlowPairHasATrueType) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(), machines(0, 4), topo);
+  Rng rng(3);
+  const auto result = sim.run(rng);
+  for (const FlowRecord& f : result.trace) {
+    EXPECT_TRUE(result.truth.pair_types.count(f.pair()))
+        << f.src << "->" << f.dst;
+  }
+}
+
+TEST(JobSimTest, PpFlowsHaveOneConsistentSize) {
+  const auto topo = small_topology();
+  const auto cfg = small_job();
+  TrainingJobSim sim(JobId(0), cfg, machines(0, 4), topo);
+  Rng rng(4);
+  const auto result = sim.run(rng);
+  for (const FlowRecord& f : result.trace) {
+    if (result.truth.pair_types.at(f.pair()) == CommType::kPP) {
+      EXPECT_EQ(f.bytes, cfg.pp_message_bytes);
+    }
+  }
+}
+
+TEST(JobSimTest, DpPairsSeeMultipleDistinctSizes) {
+  const auto topo = small_topology();
+  const auto cfg = small_job();
+  TrainingJobSim sim(JobId(0), cfg, machines(0, 4), topo);
+  Rng rng(5);
+  const auto result = sim.run(rng);
+  std::unordered_map<GpuPair, std::set<std::uint64_t>> sizes_per_pair;
+  for (const FlowRecord& f : result.trace) {
+    if (result.truth.pair_types.at(f.pair()) == CommType::kDP) {
+      sizes_per_pair[f.pair()].insert(f.bytes);
+    }
+  }
+  ASSERT_FALSE(sizes_per_pair.empty());
+  for (const auto& [pair, sizes] : sizes_per_pair) {
+    EXPECT_EQ(sizes.size(), cfg.dp_buckets) << pair;
+  }
+}
+
+TEST(JobSimTest, TemporalPeriodicity_StepDurationsAreStable) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(8, 2, 2, 10), machines(0, 4), topo);
+  Rng rng(6);
+  const auto result = sim.run(rng);
+  ASSERT_EQ(result.truth.steps.size(), 10u);
+  std::vector<double> durations;
+  for (const StepTruth& s : result.truth.steps) {
+    EXPECT_GT(s.end, s.begin);
+    EXPECT_LE(s.dp_end, s.end);
+    durations.push_back(to_seconds(s.duration()));
+  }
+  // steps are contiguous
+  for (std::size_t k = 1; k < result.truth.steps.size(); ++k) {
+    EXPECT_EQ(result.truth.steps[k].begin, result.truth.steps[k - 1].end);
+  }
+  // low variance: max/min within 10% (compute jitter is 1%)
+  const auto [mn, mx] = std::minmax_element(durations.begin(), durations.end());
+  EXPECT_LT(*mx / *mn, 1.10);
+}
+
+TEST(JobSimTest, StepsConcludeWithDpTraffic) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(), machines(0, 4), topo);
+  Rng rng(7);
+  const auto result = sim.run(rng);
+  for (std::size_t k = 0; k < result.truth.steps.size(); ++k) {
+    const StepTruth& step = result.truth.steps[k];
+    // Some DP flow ends exactly at dp_end, and no job flow starts in
+    // (dp_end, end] (the optimizer tail is communication-free).
+    bool found_dp_at_end = false;
+    for (const FlowRecord& f : result.trace) {
+      if (f.end_time() == step.dp_end) found_dp_at_end = true;
+      EXPECT_FALSE(f.start_time > step.dp_end && f.start_time < step.end)
+          << "flow inside optimizer tail of step " << k;
+    }
+    EXPECT_TRUE(found_dp_at_end) << "step " << k;
+  }
+}
+
+TEST(JobSimTest, StragglerStretchesAffectedSteps) {
+  const auto topo = small_topology();
+  auto cfg = small_job(8, 2, 2, 10);
+  cfg.stragglers.push_back(
+      {.rank = 0, .step_begin = 4, .step_end = 5, .slowdown = 3.0});
+  TrainingJobSim sim(JobId(0), cfg, machines(0, 4), topo);
+  Rng rng(8);
+  const auto result = sim.run(rng);
+  const auto dur = [&](std::size_t k) {
+    return static_cast<double>(result.truth.steps[k].duration());
+  };
+  const double normal = dur(0);
+  EXPECT_GT(dur(4), 1.5 * normal);
+  EXPECT_GT(dur(5), 1.5 * normal);
+  EXPECT_LT(dur(7), 1.2 * normal);
+}
+
+TEST(JobSimTest, SlowDpGroupStretchesItsSpanOnly) {
+  const auto topo = small_topology();
+  auto cfg = small_job(8, 2, 2, 8);
+  cfg.slow_dp_groups.push_back(
+      {.tp_idx = 0, .pp_idx = 0, .step_begin = 3, .step_end = 4,
+       .slowdown = 4.0});
+  TrainingJobSim sim(JobId(0), cfg, machines(0, 4), topo);
+  Rng rng(9);
+  const auto result = sim.run(rng);
+  const std::size_t slow_group = 0;  // pp_idx * tp + tp_idx with tp index 0
+  const std::size_t other_group = 1;
+  const auto span_dur = [&](std::size_t g, std::size_t k) {
+    return static_cast<double>(result.truth.dp_group_spans[g][k].duration());
+  };
+  EXPECT_GT(span_dur(slow_group, 3), 2.0 * span_dur(slow_group, 1));
+  EXPECT_LT(span_dur(other_group, 3), 1.6 * span_dur(other_group, 1));
+}
+
+TEST(JobSimTest, ZeroOverlapStillEndsStepsWithDp) {
+  const auto topo = small_topology();
+  auto cfg = small_job();
+  cfg.zero_overlap = true;
+  TrainingJobSim sim(JobId(0), cfg, machines(0, 4), topo);
+  Rng rng(10);
+  const auto result = sim.run(rng);
+  for (const StepTruth& s : result.truth.steps) {
+    EXPECT_GT(s.dp_end, s.begin);
+    EXPECT_EQ(s.end, s.dp_end + cfg.optimizer_time);
+  }
+}
+
+TEST(JobSimTest, DeterministicGivenSeed) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(), machines(0, 4), topo);
+  Rng rng1(42), rng2(42);
+  const auto r1 = sim.run(rng1);
+  const auto r2 = sim.run(rng2);
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i], r2.trace[i]);
+  }
+}
+
+TEST(JobSimTest, DpGroupOfRankIsConsistent) {
+  const auto topo = small_topology();
+  TrainingJobSim sim(JobId(0), small_job(4, 4, 2), machines(0, 4), topo);
+  Rng rng(11);
+  const auto result = sim.run(rng);
+  const RankMap& rm = sim.rank_map();
+  const auto groups = rm.all_dp_groups();
+  ASSERT_EQ(result.truth.dp_group_of_rank.size(), rm.world_size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const RankId r : groups[g]) {
+      EXPECT_EQ(result.truth.dp_group_of_rank[r.value()], g);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level simulation.
+
+TEST(ClusterSimTest, AutoAllocatesDisjointMachines) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 12, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  cfg.jobs.push_back({small_job(8, 2, 2, 4), {}});
+  cfg.jobs.push_back({small_job(8, 4, 1, 4), {}});
+  const auto result = run_cluster_sim(cfg);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  std::unordered_set<GpuId> seen;
+  for (const JobTruth& j : result.jobs) {
+    for (const GpuId g : j.gpus) {
+      EXPECT_TRUE(seen.insert(g).second) << "GPU in two jobs: " << g;
+    }
+  }
+}
+
+TEST(ClusterSimTest, RejectsOverlappingExplicitMachines) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 8, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  cfg.jobs.push_back({small_job(8, 2, 2, 2), machines(0, 4)});
+  cfg.jobs.push_back({small_job(8, 2, 2, 2), machines(3, 4)});
+  EXPECT_THROW(run_cluster_sim(cfg), std::invalid_argument);
+}
+
+TEST(ClusterSimTest, RejectsWhenClusterTooSmall) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 4, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  cfg.jobs.push_back({small_job(8, 4, 2, 2), {}});  // needs 8 machines
+  EXPECT_THROW(run_cluster_sim(cfg), std::invalid_argument);
+}
+
+TEST(ClusterSimTest, AnomalyLabelsPropagate) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 8, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  auto job = small_job(8, 2, 2, 6);
+  job.stragglers.push_back(
+      {.rank = 3, .step_begin = 2, .step_end = 3, .slowdown = 2.5});
+  cfg.jobs.push_back({job, {}});
+  cfg.switch_faults.push_back(
+      {SwitchId(0), TimeWindow{0, 100 * kSecond}, 0.5});
+  const auto result = run_cluster_sim(cfg);
+  ASSERT_EQ(result.anomalies.size(), 2u);
+  EXPECT_EQ(result.anomalies[0].kind, AnomalyKind::kStraggler);
+  EXPECT_EQ(result.anomalies[0].rank, RankId(3));
+  EXPECT_EQ(result.anomalies[1].kind, AnomalyKind::kDegradedSwitch);
+}
+
+TEST(ClusterSimTest, TraceIsSortedAndDeterministic) {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 12, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  cfg.jobs.push_back({small_job(8, 2, 2, 3), {}});
+  cfg.jobs.push_back({small_job(8, 4, 1, 3), {}});
+  cfg.seed = 77;
+  const auto a = run_cluster_sim(cfg);
+  const auto b = run_cluster_sim(cfg);
+  EXPECT_TRUE(a.trace.is_sorted());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i], b.trace[i]);
+  }
+}
+
+}  // namespace
+}  // namespace llmprism

@@ -1,0 +1,126 @@
+// gen_trace — generate a synthetic multi-tenant flow-trace CSV (the input
+// format `prism` consumes), for demos, fuzzing downstream tooling, or
+// load-testing a collector pipeline.
+//
+// Usage:
+//   gen_trace <out.csv> [options]
+//     --machines N       cluster size (default 32)
+//     --jobs SPEC[,SPEC] job list; SPEC = tp:dp:pp[:steps[:zero]]
+//                        (default "8:2:2:10,8:4:1:10")
+//     --seed N           (default 42)
+//     --degraded F       fraction of degraded pairs (collection noise)
+//     --drop F           i.i.d. flow drop rate
+//   Prints the ground truth (jobs, layouts) to stderr for comparison.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "llmprism/flow/io.hpp"
+#include "llmprism/simulator/cluster_sim.hpp"
+
+using namespace llmprism;
+
+namespace {
+
+std::vector<JobSimConfig> parse_jobs(const std::string& spec) {
+  std::vector<JobSimConfig> jobs;
+  std::stringstream all(spec);
+  std::string one;
+  while (std::getline(all, one, ',')) {
+    std::stringstream ss(one);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ':')) fields.push_back(field);
+    if (fields.size() < 3) {
+      throw std::invalid_argument("bad job spec '" + one +
+                                  "' (want tp:dp:pp[:steps[:zero]])");
+    }
+    JobSimConfig job;
+    job.parallelism.tp = static_cast<std::uint32_t>(std::stoul(fields[0]));
+    job.parallelism.dp = static_cast<std::uint32_t>(std::stoul(fields[1]));
+    job.parallelism.pp = static_cast<std::uint32_t>(std::stoul(fields[2]));
+    job.parallelism.micro_batches = 4;
+    job.num_steps =
+        fields.size() > 3 ? static_cast<std::uint32_t>(std::stoul(fields[3]))
+                          : 10;
+    job.zero_overlap = fields.size() > 4 && fields[4] == "zero";
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::uint32_t machines = 32;
+  std::string jobs_spec = "8:2:2:10,8:4:1:10";
+  std::uint64_t seed = 42;
+  double degraded = 0.0;
+  double drop = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--machines") {
+        machines = static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--jobs") {
+        jobs_spec = value();
+      } else if (arg == "--seed") {
+        seed = std::stoull(value());
+      } else if (arg == "--degraded") {
+        degraded = std::stod(value());
+      } else if (arg == "--drop") {
+        drop = std::stod(value());
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "gen_trace: unknown option " << arg << '\n';
+        return 2;
+      } else if (out_path.empty()) {
+        out_path = arg;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "gen_trace: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (out_path.empty()) {
+    std::cerr << "usage: gen_trace <out.csv> [--machines N] [--jobs SPEC]\n"
+                 "                 [--seed N] [--degraded F] [--drop F]\n";
+    return 2;
+  }
+
+  try {
+    ClusterSimConfig cfg;
+    cfg.topology = {.num_machines = machines, .gpus_per_machine = 8,
+                    .machines_per_leaf = 16, .num_spines = 4};
+    cfg.seed = seed;
+    for (const JobSimConfig& job : parse_jobs(jobs_spec)) {
+      cfg.jobs.push_back({job, {}});
+    }
+    cfg.noise.degraded_pair_fraction = degraded;
+    cfg.noise.drop_rate = drop;
+
+    const ClusterSimResult sim = run_cluster_sim(cfg);
+    write_csv_file(out_path, sim.trace);
+    std::cout << "wrote " << sim.trace.size() << " flows to " << out_path
+              << '\n';
+
+    std::cerr << "ground truth (" << sim.jobs.size() << " jobs):\n";
+    for (std::size_t j = 0; j < sim.jobs.size(); ++j) {
+      const auto& par = cfg.jobs[j].config.parallelism;
+      std::cerr << "  job " << j << ": " << sim.jobs[j].gpus.size()
+                << " GPUs, tp" << par.tp << "/dp" << par.dp << "/pp"
+                << par.pp << ", " << cfg.jobs[j].config.num_steps
+                << " steps\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gen_trace: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

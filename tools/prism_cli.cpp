@@ -1,0 +1,171 @@
+// prism — command-line front end: analyze a flow-trace CSV end-to-end and
+// print (or export as JSON) the full diagnosis report.
+//
+// Usage:
+//   prism <flows.csv> [options]
+//     --machines N          number of machines in the cluster (default:
+//                           derived from the largest GPU id in the trace)
+//     --gpus-per-machine N  (default 8)
+//     --machines-per-leaf N (default 16)
+//     --spines N            (default 4)
+//     --window SECONDS      analyze only the first SECONDS of the trace
+//     --json                emit the report as JSON instead of text
+//     --timelines           include per-rank timeline lanes in text output
+//     --no-reconstruct      skip timeline reconstruction (faster)
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "llmprism/core/prism.hpp"
+#include "llmprism/core/render.hpp"
+#include "llmprism/flow/io.hpp"
+
+using namespace llmprism;
+
+namespace {
+
+struct CliOptions {
+  std::string trace_path;
+  TopologyConfig topology{.num_machines = 0, .gpus_per_machine = 8,
+                          .machines_per_leaf = 16, .num_spines = 4};
+  std::optional<double> window_seconds;
+  bool json = false;
+  bool timelines = false;
+  bool reconstruct = true;
+};
+
+void usage() {
+  std::cerr
+      << "usage: prism <flows.csv> [--machines N] [--gpus-per-machine N]\n"
+         "             [--machines-per-leaf N] [--spines N] [--window S]\n"
+         "             [--json] [--timelines] [--no-reconstruct]\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "prism: missing value for " << argv[i] << '\n';
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--machines") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.topology.num_machines =
+          static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--gpus-per-machine") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.topology.gpus_per_machine =
+          static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--machines-per-leaf") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.topology.machines_per_leaf =
+          static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--spines") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.topology.num_spines =
+          static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--window") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.window_seconds = std::stod(v);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--timelines") {
+      options.timelines = true;
+    } else if (arg == "--no-reconstruct") {
+      options.reconstruct = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "prism: unknown option " << arg << '\n';
+      return std::nullopt;
+    } else if (options.trace_path.empty()) {
+      options.trace_path = arg;
+    } else {
+      std::cerr << "prism: unexpected argument " << arg << '\n';
+      return std::nullopt;
+    }
+  }
+  if (options.trace_path.empty()) return std::nullopt;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    usage();
+    return 2;
+  }
+
+  FlowTrace trace;
+  try {
+    trace = read_csv_file(options->trace_path);
+  } catch (const std::exception& e) {
+    std::cerr << "prism: " << e.what() << '\n';
+    return 1;
+  }
+  trace.sort();
+  if (trace.empty()) {
+    std::cerr << "prism: trace is empty\n";
+    return 1;
+  }
+
+  TopologyConfig topo_config = options->topology;
+  if (topo_config.num_machines == 0) {
+    std::uint32_t max_gpu = 0;
+    for (const GpuId g : endpoints(trace)) {
+      max_gpu = std::max(max_gpu, g.value());
+    }
+    topo_config.num_machines = max_gpu / topo_config.gpus_per_machine + 1;
+  }
+
+  if (options->window_seconds) {
+    const TimeNs begin = trace.span().begin;
+    trace = trace.window(
+        {begin, begin + from_seconds(*options->window_seconds)});
+  }
+
+  try {
+    const auto topology = ClusterTopology::build(topo_config);
+    PrismConfig prism_config;
+    prism_config.reconstruct_timelines = options->reconstruct;
+    const Prism prism(topology, prism_config);
+    const PrismReport report = prism.analyze(trace);
+
+    if (options->json) {
+      write_report_json(std::cout, report);
+      return 0;
+    }
+    std::cout << "analyzed " << trace.size() << " flows over "
+              << to_seconds(trace.span().length()) << " s on a "
+              << topology.num_gpus() << "-GPU topology\n\n"
+              << render_report_summary(report);
+    if (options->timelines) {
+      for (const JobAnalysis& job : report.jobs) {
+        if (job.timelines.empty()) continue;
+        const std::size_t lanes =
+            std::min<std::size_t>(8, job.timelines.size());
+        std::cout << "\njob " << job.id << " timelines (first " << lanes
+                  << " ranks):\n"
+                  << render_timeline_chart(
+                         std::span(job.timelines.data(), lanes),
+                         {.width = 110});
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "prism: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
