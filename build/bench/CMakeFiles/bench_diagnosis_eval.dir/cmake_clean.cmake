@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnosis_eval.dir/bench_diagnosis_eval.cpp.o"
+  "CMakeFiles/bench_diagnosis_eval.dir/bench_diagnosis_eval.cpp.o.d"
+  "bench_diagnosis_eval"
+  "bench_diagnosis_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnosis_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

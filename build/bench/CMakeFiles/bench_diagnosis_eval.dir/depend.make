@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_diagnosis_eval.
+# This may be replaced when dependencies are built.

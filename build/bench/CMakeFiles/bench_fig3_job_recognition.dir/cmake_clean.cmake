@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_job_recognition.dir/bench_fig3_job_recognition.cpp.o"
+  "CMakeFiles/bench_fig3_job_recognition.dir/bench_fig3_job_recognition.cpp.o.d"
+  "bench_fig3_job_recognition"
+  "bench_fig3_job_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_job_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

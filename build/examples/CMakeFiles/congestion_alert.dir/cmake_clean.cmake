@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_alert.dir/congestion_alert.cpp.o"
+  "CMakeFiles/congestion_alert.dir/congestion_alert.cpp.o.d"
+  "congestion_alert"
+  "congestion_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

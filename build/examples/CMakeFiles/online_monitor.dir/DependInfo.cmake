@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/online_monitor.cpp" "examples/CMakeFiles/online_monitor.dir/online_monitor.cpp.o" "gcc" "examples/CMakeFiles/online_monitor.dir/online_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/llmprism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/llmprism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bocd/CMakeFiles/llmprism_bocd.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallelism/CMakeFiles/llmprism_parallelism.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/llmprism_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/llmprism_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/llmprism_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

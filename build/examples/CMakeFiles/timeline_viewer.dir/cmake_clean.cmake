@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_viewer.dir/timeline_viewer.cpp.o"
+  "CMakeFiles/timeline_viewer.dir/timeline_viewer.cpp.o.d"
+  "timeline_viewer"
+  "timeline_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

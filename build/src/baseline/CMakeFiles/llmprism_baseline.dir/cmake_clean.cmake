@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_baseline.dir/eval.cpp.o"
+  "CMakeFiles/llmprism_baseline.dir/eval.cpp.o.d"
+  "CMakeFiles/llmprism_baseline.dir/naive_classifier.cpp.o"
+  "CMakeFiles/llmprism_baseline.dir/naive_classifier.cpp.o.d"
+  "CMakeFiles/llmprism_baseline.dir/step_divider.cpp.o"
+  "CMakeFiles/llmprism_baseline.dir/step_divider.cpp.o.d"
+  "libllmprism_baseline.a"
+  "libllmprism_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_bocd.dir/bocd.cpp.o"
+  "CMakeFiles/llmprism_bocd.dir/bocd.cpp.o.d"
+  "libllmprism_bocd.a"
+  "libllmprism_bocd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_bocd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for llmprism_bocd.
+# This may be replaced when dependencies are built.

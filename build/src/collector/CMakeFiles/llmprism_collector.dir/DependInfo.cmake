@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/collector.cpp" "src/collector/CMakeFiles/llmprism_collector.dir/collector.cpp.o" "gcc" "src/collector/CMakeFiles/llmprism_collector.dir/collector.cpp.o.d"
+  "/root/repo/src/collector/packetize.cpp" "src/collector/CMakeFiles/llmprism_collector.dir/packetize.cpp.o" "gcc" "src/collector/CMakeFiles/llmprism_collector.dir/packetize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llmprism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/llmprism_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/llmprism_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_collector.dir/collector.cpp.o"
+  "CMakeFiles/llmprism_collector.dir/collector.cpp.o.d"
+  "CMakeFiles/llmprism_collector.dir/packetize.cpp.o"
+  "CMakeFiles/llmprism_collector.dir/packetize.cpp.o.d"
+  "libllmprism_collector.a"
+  "libllmprism_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_common.dir/csv.cpp.o"
+  "CMakeFiles/llmprism_common.dir/csv.cpp.o.d"
+  "CMakeFiles/llmprism_common.dir/log.cpp.o"
+  "CMakeFiles/llmprism_common.dir/log.cpp.o.d"
+  "CMakeFiles/llmprism_common.dir/stats.cpp.o"
+  "CMakeFiles/llmprism_common.dir/stats.cpp.o.d"
+  "libllmprism_common.a"
+  "libllmprism_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

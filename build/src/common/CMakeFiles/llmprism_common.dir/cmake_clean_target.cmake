@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllmprism_common.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_type.cpp" "src/core/CMakeFiles/llmprism_core.dir/comm_type.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/comm_type.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/llmprism_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/job_recognition.cpp" "src/core/CMakeFiles/llmprism_core.dir/job_recognition.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/job_recognition.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/llmprism_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/parallelism_inference.cpp" "src/core/CMakeFiles/llmprism_core.dir/parallelism_inference.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/parallelism_inference.cpp.o.d"
+  "/root/repo/src/core/prism.cpp" "src/core/CMakeFiles/llmprism_core.dir/prism.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/prism.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/llmprism_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/llmprism_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/llmprism_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llmprism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/llmprism_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/llmprism_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/bocd/CMakeFiles/llmprism_bocd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_core.dir/comm_type.cpp.o"
+  "CMakeFiles/llmprism_core.dir/comm_type.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/llmprism_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/job_recognition.cpp.o"
+  "CMakeFiles/llmprism_core.dir/job_recognition.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/monitor.cpp.o"
+  "CMakeFiles/llmprism_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/parallelism_inference.cpp.o"
+  "CMakeFiles/llmprism_core.dir/parallelism_inference.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/prism.cpp.o"
+  "CMakeFiles/llmprism_core.dir/prism.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/render.cpp.o"
+  "CMakeFiles/llmprism_core.dir/render.cpp.o.d"
+  "CMakeFiles/llmprism_core.dir/timeline.cpp.o"
+  "CMakeFiles/llmprism_core.dir/timeline.cpp.o.d"
+  "libllmprism_core.a"
+  "libllmprism_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_flow.dir/io.cpp.o"
+  "CMakeFiles/llmprism_flow.dir/io.cpp.o.d"
+  "CMakeFiles/llmprism_flow.dir/trace.cpp.o"
+  "CMakeFiles/llmprism_flow.dir/trace.cpp.o.d"
+  "libllmprism_flow.a"
+  "libllmprism_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_parallelism.dir/config.cpp.o"
+  "CMakeFiles/llmprism_parallelism.dir/config.cpp.o.d"
+  "CMakeFiles/llmprism_parallelism.dir/placement.cpp.o"
+  "CMakeFiles/llmprism_parallelism.dir/placement.cpp.o.d"
+  "libllmprism_parallelism.a"
+  "libllmprism_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

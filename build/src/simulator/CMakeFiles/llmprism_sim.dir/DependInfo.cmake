@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/cluster_sim.cpp" "src/simulator/CMakeFiles/llmprism_sim.dir/cluster_sim.cpp.o" "gcc" "src/simulator/CMakeFiles/llmprism_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/simulator/faults.cpp" "src/simulator/CMakeFiles/llmprism_sim.dir/faults.cpp.o" "gcc" "src/simulator/CMakeFiles/llmprism_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/simulator/job_sim.cpp" "src/simulator/CMakeFiles/llmprism_sim.dir/job_sim.cpp.o" "gcc" "src/simulator/CMakeFiles/llmprism_sim.dir/job_sim.cpp.o.d"
+  "/root/repo/src/simulator/noise.cpp" "src/simulator/CMakeFiles/llmprism_sim.dir/noise.cpp.o" "gcc" "src/simulator/CMakeFiles/llmprism_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/simulator/pipeline_schedule.cpp" "src/simulator/CMakeFiles/llmprism_sim.dir/pipeline_schedule.cpp.o" "gcc" "src/simulator/CMakeFiles/llmprism_sim.dir/pipeline_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llmprism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/llmprism_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/llmprism_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallelism/CMakeFiles/llmprism_parallelism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/llmprism_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/llmprism_sim.dir/faults.cpp.o"
+  "CMakeFiles/llmprism_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/llmprism_sim.dir/job_sim.cpp.o"
+  "CMakeFiles/llmprism_sim.dir/job_sim.cpp.o.d"
+  "CMakeFiles/llmprism_sim.dir/noise.cpp.o"
+  "CMakeFiles/llmprism_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/llmprism_sim.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/llmprism_sim.dir/pipeline_schedule.cpp.o.d"
+  "libllmprism_sim.a"
+  "libllmprism_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmprism_topology.dir/topology.cpp.o"
+  "CMakeFiles/llmprism_topology.dir/topology.cpp.o.d"
+  "libllmprism_topology.a"
+  "libllmprism_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmprism_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bocd.dir/test_bocd.cpp.o"
+  "CMakeFiles/test_bocd.dir/test_bocd.cpp.o.d"
+  "test_bocd"
+  "test_bocd.pdb"
+  "test_bocd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bocd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_type.dir/test_comm_type.cpp.o"
+  "CMakeFiles/test_comm_type.dir/test_comm_type.cpp.o.d"
+  "test_comm_type"
+  "test_comm_type.pdb"
+  "test_comm_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

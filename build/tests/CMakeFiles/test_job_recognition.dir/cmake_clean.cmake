@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_recognition.dir/test_job_recognition.cpp.o"
+  "CMakeFiles/test_job_recognition.dir/test_job_recognition.cpp.o.d"
+  "test_job_recognition"
+  "test_job_recognition.pdb"
+  "test_job_recognition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_faults.dir/test_noise_faults.cpp.o"
+  "CMakeFiles/test_noise_faults.dir/test_noise_faults.cpp.o.d"
+  "test_noise_faults"
+  "test_noise_faults.pdb"
+  "test_noise_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelism_inference.dir/test_parallelism_inference.cpp.o"
+  "CMakeFiles/test_parallelism_inference.dir/test_parallelism_inference.cpp.o.d"
+  "test_parallelism_inference"
+  "test_parallelism_inference.pdb"
+  "test_parallelism_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelism_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

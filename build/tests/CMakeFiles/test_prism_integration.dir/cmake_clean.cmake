@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prism_integration.dir/test_prism_integration.cpp.o"
+  "CMakeFiles/test_prism_integration.dir/test_prism_integration.cpp.o.d"
+  "test_prism_integration"
+  "test_prism_integration.pdb"
+  "test_prism_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prism_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

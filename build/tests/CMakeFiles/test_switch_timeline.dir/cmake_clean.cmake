@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_timeline.dir/test_switch_timeline.cpp.o"
+  "CMakeFiles/test_switch_timeline.dir/test_switch_timeline.cpp.o.d"
+  "test_switch_timeline"
+  "test_switch_timeline.pdb"
+  "test_switch_timeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/test_topology.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/llmprism_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/llmprism_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/llmprism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/llmprism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bocd/CMakeFiles/llmprism_bocd.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallelism/CMakeFiles/llmprism_parallelism.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/llmprism_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/llmprism_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/llmprism_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelism[1]_include.cmake")
+include("/root/repo/build/tests/test_bocd[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_noise_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_job_recognition[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_type[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelism_inference[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_switch_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_prism_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

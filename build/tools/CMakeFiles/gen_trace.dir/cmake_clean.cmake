@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_trace.dir/gen_trace.cpp.o"
+  "CMakeFiles/gen_trace.dir/gen_trace.cpp.o.d"
+  "gen_trace"
+  "gen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

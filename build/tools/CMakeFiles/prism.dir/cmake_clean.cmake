@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism.dir/prism_cli.cpp.o"
+  "CMakeFiles/prism.dir/prism_cli.cpp.o.d"
+  "prism"
+  "prism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
