@@ -111,6 +111,43 @@ void BM_PrismEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_PrismEndToEnd);
 
+ClusterSimResult& shared_multi_job_cluster() {
+  // Eight 16-GPU tenants (2 machines each): the multi-tenant window shape
+  // the per-job fan-out is built for.
+  static ClusterSimResult result = [] {
+    ClusterSimConfig cfg;
+    cfg.topology = {.num_machines = 16, .gpus_per_machine = 8,
+                    .machines_per_leaf = 4, .num_spines = 2};
+    cfg.seed = 99;
+    for (int j = 0; j < 8; ++j) {
+      JobSimConfig job;
+      job.parallelism = {.tp = 8, .dp = 2, .pp = 1, .micro_batches = 4};
+      job.num_steps = 10;
+      cfg.jobs.push_back({job, {}});
+    }
+    return run_cluster_sim(cfg);
+  }();
+  return result;
+}
+
+void BM_PrismAnalyze(benchmark::State& state) {
+  const auto& sim = shared_multi_job_cluster();
+  PrismConfig cfg;
+  cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  const Prism prism(sim.topology, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prism.analyze(sim.trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+  state.counters["flows"] = static_cast<double>(sim.trace.size());
+  state.counters["jobs"] = 8.0;
+  state.counters["threads"] = static_cast<double>(prism.num_threads());
+}
+// Wall-clock time is the metric: the sweep records the per-job fan-out's
+// speedup (items_per_second at 4 threads vs 1) in the bench trajectory.
+BENCHMARK(BM_PrismAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_DisjointSetUnite(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(3);

@@ -1,0 +1,68 @@
+// A minimal shared-work-queue thread pool for the analysis side's fan-out
+// loops (per-job analysis in Prism::analyze, per-window analysis in
+// OnlineMonitor::ingest).
+//
+// Design constraints (see DESIGN.md, "Concurrency model"):
+//  * parallel_for is the only primitive. Deterministic results fall out of
+//    the usage discipline: every task owns a pre-sized output slot indexed
+//    by its loop index and shares no mutable state, so scheduling order
+//    cannot influence the result.
+//  * The calling thread always participates in the loop, so a pool with
+//    zero workers degenerates to the plain sequential in-order loop — the
+//    num_threads = 1 legacy path is literally the same code, and progress
+//    never depends on a free worker. This also makes nested or concurrent
+//    parallel_for calls (several OnlineMonitor windows each fanning out
+//    their jobs) deadlock-free on shared or separate pools.
+//  * Exceptions thrown by an iteration are captured and rethrown on the
+//    calling thread once the loop has drained (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llmprism {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is valid: every loop then runs
+  /// inline on the calling thread).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  /// Threads a loop can occupy: workers plus the calling thread.
+  [[nodiscard]] std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Resolve a `num_threads` config knob: 0 -> one thread per hardware
+  /// thread (at least 1), anything else -> the requested count.
+  [[nodiscard]] static std::size_t resolve(std::size_t requested);
+
+  /// Run fn(i) for every i in [0, n). Blocks until all iterations are done;
+  /// the calling thread works alongside the pool. Safe to call from several
+  /// threads at once and from inside another pool's loop.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper: fan out on `pool`, or run the exact sequential
+/// in-order loop when `pool` is null (the single-threaded configuration).
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace llmprism

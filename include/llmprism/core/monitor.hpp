@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "llmprism/common/thread_pool.hpp"
 #include "llmprism/core/prism.hpp"
 
 namespace llmprism {
@@ -60,7 +62,10 @@ class OnlineMonitor {
                          MonitorConfig config = {});
 
   /// Feed a batch of flows (any order within the reorder slack). Returns
-  /// one tick per window the batch completed, in time order.
+  /// one tick per window the batch completed, in time order. When the
+  /// configured `prism.num_threads` allows, the completed windows of one
+  /// batch are analyzed concurrently; ticks, stable job ids, and stats are
+  /// still produced in time order and are identical to sequential ingestion.
   std::vector<MonitorTick> ingest(const FlowTrace& batch);
 
   /// Close and analyze the current partial window (end of feed / shutdown).
@@ -74,11 +79,17 @@ class OnlineMonitor {
 
  private:
   MonitorTick analyze_window(TimeWindow window, FlowTrace flows);
+  /// Stable-id assignment + stats, applied to ticks strictly in time order
+  /// (this is what keeps ids independent of window-analysis scheduling).
+  void finish_tick(MonitorTick& tick);
   MonitorJobId stable_id_for(const RecognizedJob& job);
 
   const ClusterTopology& topology_;
   MonitorConfig config_;
   Prism prism_;
+  /// Fan-out pool for the completed windows of one batch; null when the
+  /// configuration is single-threaded.
+  std::unique_ptr<ThreadPool> window_pool_;
 
   FlowTrace buffer_;
   bool window_origin_set_ = false;

@@ -8,8 +8,11 @@
 // window, plus the physical topology. No tenant cooperation required.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "llmprism/common/thread_pool.hpp"
 #include "llmprism/core/comm_type.hpp"
 #include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/job_recognition.hpp"
@@ -28,6 +31,11 @@ struct PrismConfig {
   /// Timeline reconstruction dominates cost; disable when only job
   /// recognition / parallelism identification is needed.
   bool reconstruct_timelines = true;
+  /// Threads for the per-job analysis fan-out: 0 = one per hardware thread,
+  /// 1 = the exact sequential legacy path, n = that many. The report is
+  /// identical for every value (see DESIGN.md, "Concurrency model");
+  /// `tests/test_parallel_equivalence.cpp` enforces this.
+  std::size_t num_threads = 0;
 };
 
 /// Full analysis of one recognized job.
@@ -56,12 +64,19 @@ class Prism {
  public:
   explicit Prism(const ClusterTopology& topology, PrismConfig config = {});
 
-  /// Analyze one window of cluster-wide flows end-to-end.
+  /// Analyze one window of cluster-wide flows end-to-end. Thread-safe:
+  /// several threads may analyze different traces on one Prism (the
+  /// OnlineMonitor does exactly that for concurrent windows).
   [[nodiscard]] PrismReport analyze(const FlowTrace& trace) const;
+
+  /// Resolved fan-out width (>= 1).
+  [[nodiscard]] std::size_t num_threads() const;
 
  private:
   const ClusterTopology& topology_;
   PrismConfig config_;
+  /// Per-job fan-out pool; null in the single-threaded configuration.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace llmprism

@@ -8,11 +8,23 @@ namespace llmprism {
 
 namespace {
 
+/// Thread-safe log-gamma. libc's lgamma() writes the process-global
+/// `signgam`, which races when per-job analysis tasks run BOCD
+/// concurrently; every argument here is positive, so the sign is discarded.
+double lgamma_positive(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// log pdf of a Student-t with nu degrees of freedom, location mu and
 /// scale^2 = s2, evaluated at x.
 double log_student_t(double x, double nu, double mu, double s2) {
   const double d = x - mu;
-  return std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0) -
+  return lgamma_positive((nu + 1.0) / 2.0) - lgamma_positive(nu / 2.0) -
          0.5 * std::log(nu * M_PI * s2) -
          (nu + 1.0) / 2.0 * std::log1p(d * d / (nu * s2));
 }

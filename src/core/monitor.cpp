@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace llmprism {
 
@@ -18,6 +19,8 @@ OnlineMonitor::OnlineMonitor(const ClusterTopology& topology,
   if (config_.reorder_slack < 0) {
     throw std::invalid_argument("monitor: reorder_slack must be >= 0");
   }
+  const std::size_t threads = ThreadPool::resolve(config_.prism.num_threads);
+  if (threads > 1) window_pool_ = std::make_unique<ThreadPool>(threads - 1);
 }
 
 MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
@@ -35,12 +38,7 @@ MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
   return it->second;
 }
 
-MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
-                                          FlowTrace flows) {
-  MonitorTick tick;
-  tick.window = window;
-  flows.sort();
-  tick.report = prism_.analyze(flows);
+void OnlineMonitor::finish_tick(MonitorTick& tick) {
   tick.job_ids.reserve(tick.report.jobs.size());
   for (const JobAnalysis& job : tick.report.jobs) {
     const MonitorJobId id = stable_id_for(job.job);
@@ -56,11 +54,19 @@ MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
   stats_.switch_bandwidth_alerts += tick.report.switch_bandwidth_alerts.size();
   stats_.switch_concurrency_alerts +=
       tick.report.switch_concurrency_alerts.size();
+}
+
+MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
+                                          FlowTrace flows) {
+  MonitorTick tick;
+  tick.window = window;
+  flows.sort();
+  tick.report = prism_.analyze(flows);
+  finish_tick(tick);
   return tick;
 }
 
 std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
-  std::vector<MonitorTick> ticks;
   for (const FlowRecord& f : batch) {
     if (!window_origin_set_) {
       window_begin_ = f.start_time;
@@ -78,7 +84,8 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
     ++stats_.flows_ingested;
   }
 
-  // Close every window whose end the watermark has safely passed.
+  // Slice off every window whose end the watermark has safely passed.
+  std::vector<std::pair<TimeWindow, FlowTrace>> closed;
   while (window_origin_set_ &&
          watermark_ - config_.reorder_slack >=
              window_begin_ + config_.window) {
@@ -89,8 +96,19 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
         {window.end, std::numeric_limits<TimeNs>::max()});
     buffer_ = std::move(rest);
     window_begin_ = window.end;
-    ticks.push_back(analyze_window(window, std::move(in_window)));
+    closed.emplace_back(window, std::move(in_window));
   }
+
+  // Analyze the closed windows concurrently (the pure, per-window part),
+  // then assign stable ids and stats sequentially in time order so both are
+  // independent of which window finished first.
+  std::vector<MonitorTick> ticks(closed.size());
+  parallel_for(window_pool_.get(), closed.size(), [&](std::size_t i) {
+    ticks[i].window = closed[i].first;
+    closed[i].second.sort();
+    ticks[i].report = prism_.analyze(closed[i].second);
+  });
+  for (MonitorTick& tick : ticks) finish_tick(tick);
   return ticks;
 }
 

@@ -3,11 +3,22 @@
 #include <unordered_map>
 
 #include "llmprism/common/log.hpp"
+#include "llmprism/common/thread_pool.hpp"
 
 namespace llmprism {
 
 Prism::Prism(const ClusterTopology& topology, PrismConfig config)
-    : topology_(topology), config_(std::move(config)) {}
+    : topology_(topology), config_(std::move(config)) {
+  const std::size_t threads = ThreadPool::resolve(config_.num_threads);
+  // The calling thread participates in every loop, so `threads - 1` workers
+  // yield exactly `threads` concurrent lanes; with one thread no pool is
+  // created and analyze() runs the plain in-order loop.
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+}
+
+std::size_t Prism::num_threads() const {
+  return pool_ ? pool_->concurrency() : 1;
+}
 
 PrismReport Prism::analyze(const FlowTrace& trace) const {
   PrismReport report;
@@ -26,7 +37,8 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
       job_of_gpu.emplace(g, j);
     }
   }
-  std::vector<FlowTrace> job_traces(report.recognition.jobs.size());
+  const std::size_t num_jobs = report.recognition.jobs.size();
+  std::vector<FlowTrace> job_traces(num_jobs);
   for (const FlowRecord& f : trace) {
     const auto it = job_of_gpu.find(f.src);
     if (it != job_of_gpu.end()) job_traces[it->second].add(f);
@@ -36,9 +48,15 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
   const TimelineReconstructor reconstructor(config_.timeline);
   const Diagnoser diagnoser(config_.diagnosis);
 
-  FlowTrace all_dp_flows;
-  for (std::size_t j = 0; j < report.recognition.jobs.size(); ++j) {
-    JobAnalysis analysis;
+  // (2)-(4a) per-job stage, one task per recognized job. Each task owns its
+  // slot in `analyses` / `job_dp_flows` and touches nothing else, so the
+  // result cannot depend on scheduling; DP flows are merged in job-id order
+  // below, which keeps the cluster-wide stage's input byte-identical to the
+  // sequential path.
+  std::vector<JobAnalysis> analyses(num_jobs);
+  std::vector<FlowTrace> job_dp_flows(num_jobs);
+  parallel_for(pool_.get(), num_jobs, [&](std::size_t j) {
+    JobAnalysis& analysis = analyses[j];
     analysis.id = JobId(static_cast<std::uint32_t>(j));
     analysis.job = report.recognition.jobs[j];
     analysis.trace = std::move(job_traces[j]);
@@ -48,11 +66,11 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
     analysis.comm_types = identifier.identify(analysis.trace);
     const auto types = analysis.comm_types.types();
 
-    // Collect DP flows for cluster-wide switch diagnosis.
+    // Collect this job's DP flows for cluster-wide switch diagnosis.
     for (const FlowRecord& f : analysis.trace) {
       const auto it = types.find(f.pair());
       if (it != types.end() && it->second == CommType::kDP) {
-        all_dp_flows.add(f);
+        job_dp_flows[j].add(f);
       }
     }
 
@@ -69,8 +87,15 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
     analysis.inferred = infer_parallelism(analysis.job.gpus.size(),
                                           analysis.comm_types,
                                           std::span(analysis.timelines));
-    report.jobs.push_back(std::move(analysis));
-  }
+  });
+  report.jobs = std::move(analyses);
+
+  // Deterministic merge: job-id order regardless of task completion order.
+  FlowTrace all_dp_flows;
+  std::size_t total_dp = 0;
+  for (const FlowTrace& dp : job_dp_flows) total_dp += dp.size();
+  all_dp_flows.reserve(total_dp);
+  for (const FlowTrace& dp : job_dp_flows) all_dp_flows.append(dp);
 
   // (4) cluster-wide switch-level diagnosis
   all_dp_flows.sort();

@@ -144,5 +144,120 @@ TEST(OnlineMonitorTest, LateFlowsBeyondSlackAreDropped) {
   EXPECT_EQ(monitor.stats().flows_dropped_late, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Window-boundary and reorder-slack edge cases, exercised with hand-built
+// flows so every timestamp is exact.
+
+/// 4 machines x 2 GPUs: machine m hosts GPUs 2m and 2m+1.
+ClusterTopology tiny_topology() {
+  return ClusterTopology::build({.num_machines = 4, .gpus_per_machine = 2,
+                                 .machines_per_leaf = 2, .num_spines = 1});
+}
+
+FlowRecord flow_at(TimeNs at, std::uint32_t src, std::uint32_t dst) {
+  FlowRecord f;
+  f.start_time = at;
+  f.src = GpuId(src);
+  f.dst = GpuId(dst);
+  f.bytes = 1 << 20;
+  f.duration = kMillisecond;
+  return f;
+}
+
+MonitorConfig tiny_config(DurationNs window, DurationNs slack) {
+  MonitorConfig cfg;
+  cfg.window = window;
+  cfg.reorder_slack = slack;
+  cfg.prism.reconstruct_timelines = false;
+  return cfg;
+}
+
+TEST(OnlineMonitorEdgeTest, FlowAtExactWindowEndBelongsToNextWindow) {
+  const auto topology = tiny_topology();
+  OnlineMonitor monitor(topology, tiny_config(kSecond, 0));
+  FlowTrace batch;
+  batch.add(flow_at(0, 0, 2));
+  batch.add(flow_at(kSecond, 0, 2));      // exactly window_begin + window
+  batch.add(flow_at(2 * kSecond, 0, 2));  // advances the watermark
+  const auto ticks = monitor.ingest(batch);
+
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0].window.begin, 0);
+  EXPECT_EQ(ticks[0].window.end, kSecond);
+  ASSERT_EQ(ticks[0].report.jobs.size(), 1u);
+  // Windows are [begin, end): the boundary flow must land in the second.
+  EXPECT_EQ(ticks[0].report.jobs[0].trace.size(), 1u);
+  EXPECT_EQ(ticks[0].report.jobs[0].trace[0].start_time, 0);
+  ASSERT_EQ(ticks[1].report.jobs.size(), 1u);
+  EXPECT_EQ(ticks[1].report.jobs[0].trace.size(), 1u);
+  EXPECT_EQ(ticks[1].report.jobs[0].trace[0].start_time, kSecond);
+}
+
+TEST(OnlineMonitorEdgeTest, FlowAtSlackLimitKeptOneTickPastDropped) {
+  const auto topology = tiny_topology();
+  const DurationNs slack = 100 * kMillisecond;
+  OnlineMonitor monitor(topology, tiny_config(kSecond, slack));
+  FlowTrace batch;
+  batch.add(flow_at(0, 0, 2));
+  // Watermark 1s + slack closes exactly [0, 1s); the oldest admissible
+  // start time is then the new window begin, 1s.
+  batch.add(flow_at(kSecond + slack, 0, 2));
+  const auto ticks = monitor.ingest(batch);
+  ASSERT_EQ(ticks.size(), 1u);
+  EXPECT_EQ(monitor.stats().flows_dropped_late, 0u);
+
+  FlowTrace at_limit;
+  at_limit.add(flow_at(kSecond, 0, 2));  // exactly at the limit: kept
+  monitor.ingest(at_limit);
+  EXPECT_EQ(monitor.stats().flows_dropped_late, 0u);
+  EXPECT_EQ(monitor.stats().flows_ingested, 3u);
+
+  FlowTrace past_limit;
+  past_limit.add(flow_at(kSecond - 1, 0, 2));  // one tick past: dropped
+  monitor.ingest(past_limit);
+  EXPECT_EQ(monitor.stats().flows_dropped_late, 1u);
+  EXPECT_EQ(monitor.stats().flows_ingested, 3u);
+}
+
+TEST(OnlineMonitorEdgeTest, FlushAfterDrainingIsNullopt) {
+  const auto topology = tiny_topology();
+  OnlineMonitor monitor(topology, tiny_config(kSecond, 0));
+  FlowTrace batch;
+  batch.add(flow_at(0, 0, 2));
+  batch.add(flow_at(10 * kMillisecond, 0, 2));
+  monitor.ingest(batch);
+  EXPECT_TRUE(monitor.flush().has_value());
+  EXPECT_FALSE(monitor.flush().has_value());
+}
+
+TEST(OnlineMonitorEdgeTest, StableIdPersistsWhenJobSkipsAWindow) {
+  const auto topology = tiny_topology();
+  OnlineMonitor monitor(topology, tiny_config(kSecond, 0));
+  FlowTrace batch;
+  // Job A (machines 0-1) in windows 0 and 2; job B (machines 2-3) in all
+  // three, which keeps the windows advancing while A is absent.
+  batch.add(flow_at(0, 0, 2));                           // A, window 0
+  batch.add(flow_at(10 * kMillisecond, 4, 6));           // B, window 0
+  batch.add(flow_at(kSecond + 200 * kMillisecond, 4, 6));       // B only
+  batch.add(flow_at(2 * kSecond + 100 * kMillisecond, 0, 2));   // A returns
+  batch.add(flow_at(2 * kSecond + 200 * kMillisecond, 4, 6));   // B
+  batch.add(flow_at(3 * kSecond + 500 * kMillisecond, 4, 6));   // watermark
+  const auto ticks = monitor.ingest(batch);
+
+  ASSERT_EQ(ticks.size(), 3u);
+  ASSERT_EQ(ticks[0].job_ids.size(), 2u);  // A first (smallest GPU id)
+  ASSERT_EQ(ticks[1].job_ids.size(), 1u);
+  ASSERT_EQ(ticks[2].job_ids.size(), 2u);
+  const MonitorJobId id_a = ticks[0].job_ids[0];
+  const MonitorJobId id_b = ticks[0].job_ids[1];
+  EXPECT_NE(id_a, id_b);
+  EXPECT_EQ(ticks[1].job_ids[0], id_b);
+  EXPECT_EQ(ticks[2].job_ids[0], id_a);  // same id despite the gap
+  EXPECT_EQ(ticks[2].job_ids[1], id_b);
+  EXPECT_EQ(monitor.jobs_seen(), 2u);
+  EXPECT_EQ(monitor.stats().job_windows.at(id_a), 2u);
+  EXPECT_EQ(monitor.stats().job_windows.at(id_b), 3u);
+}
+
 }  // namespace
 }  // namespace llmprism
