@@ -11,6 +11,8 @@
 #include "llmprism/core/job_recognition.hpp"
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/timeline.hpp"
+#include "llmprism/obs/metrics.hpp"
+#include "llmprism/obs/trace_span.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
 
 namespace llmprism {
@@ -147,6 +149,55 @@ void BM_PrismAnalyze(benchmark::State& state) {
 // Wall-clock time is the metric: the sweep records the per-job fan-out's
 // speedup (items_per_second at 4 threads vs 1) in the bench trajectory.
 BENCHMARK(BM_PrismAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// --- self-telemetry overhead ----------------------------------------------
+// The pipeline is annotated unconditionally, so these pin the per-event
+// cost: counter/histogram updates are relaxed atomics, and a disabled Span
+// must be a single atomic load (the production default).
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram(obs::Histogram::default_seconds_buckets());
+  double v = 1e-5;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v < 10.0 ? v * 1.001 : 1e-5;
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::TraceCollector::instance().disable();
+  for (auto _ : state) {
+    const obs::Span span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::TraceCollector::instance().enable();
+  for (auto _ : state) {
+    const obs::Span span("bench.enabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::TraceCollector::instance().disable();
+  (void)obs::TraceCollector::instance().drain();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 void BM_DisjointSetUnite(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

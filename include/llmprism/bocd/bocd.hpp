@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,11 @@ class BocdDetector {
 
   [[nodiscard]] std::size_t observations_seen() const { return t_; }
 
+  /// Degenerate restarts: observations under which EVERY hypothesis had
+  /// (numerically) zero likelihood, forcing a hard reset from the prior.
+  /// A nonzero count on well-conditioned input is a mis-tuned prior.
+  [[nodiscard]] std::size_t hard_resets() const { return hard_resets_; }
+
   void reset();
 
  private:
@@ -105,6 +111,7 @@ class BocdDetector {
   double last_cp_probability_ = 0.0;
   double last_recent_probability_ = 0.0;
   std::size_t t_ = 0;
+  std::size_t hard_resets_ = 0;
 };
 
 /// Batch convenience: indices i (into `xs`) where P(r_i = 0) crossed the
@@ -130,14 +137,32 @@ struct SegmenterConfig {
   double gap_guard_factor = 3.0;
 };
 
+/// Deterministic per-call work/outcome counters of segment_by_gaps —
+/// telemetry the pipeline folds into PrismReport::telemetry. Pure event
+/// counts (no wall clock), so totals are thread-count-invariant.
+struct SegmenterStats {
+  std::uint64_t observations = 0;  ///< BOCD observations consumed
+  std::uint64_t boundaries = 0;    ///< segment boundaries opened
+  std::uint64_t hard_resets = 0;   ///< degenerate detector restarts
+
+  SegmenterStats& operator+=(const SegmenterStats& other) {
+    observations += other.observations;
+    boundaries += other.boundaries;
+    hard_resets += other.hard_resets;
+    return *this;
+  }
+};
+
 /// Segment a sorted timestamp sequence at "large gap" boundaries.
 ///
 /// Coalesces near-simultaneous arrivals, computes inter-arrival intervals,
 /// log-transforms them (making the short intra-step intervals approximately
 /// Gaussian and a step gap a gross outlier), runs BOCD, and returns the
 /// indices (into the ORIGINAL sequence) of the first element of each
-/// segment (always including 0).
+/// segment (always including 0). When `stats` is non-null the call's BOCD
+/// work counters are accumulated into it.
 [[nodiscard]] std::vector<std::size_t> segment_by_gaps(
-    std::span<const TimeNs> timestamps, const SegmenterConfig& config = {});
+    std::span<const TimeNs> timestamps, const SegmenterConfig& config = {},
+    SegmenterStats* stats = nullptr);
 
 }  // namespace llmprism

@@ -1,20 +1,56 @@
 // Tiny leveled logger. The analysis pipeline runs continuously in
 // production, so logging must be cheap when disabled: level check first,
 // formatting only when the message will be emitted.
+//
+// The output sink is pluggable (set_sink): the CLI redirects it per
+// --log-level runs, and tests capture emissions instead of scraping
+// std::cerr. The default sink writes "[llmprism:LEVEL] message" lines to
+// std::cerr. Sink invocations are serialized by the logger, so a sink
+// needs no locking of its own.
 #pragma once
 
-#include <iostream>
-#include <mutex>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 namespace llmprism::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Upper-case name of a level ("DEBUG" ... "OFF"). Exhaustive switch —
+/// stays warning-clean under -Wswitch when levels are added.
+[[nodiscard]] constexpr std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+/// Parse a lower- or upper-case level name ("debug", "WARN", ...).
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+
 /// Process-wide minimum level; messages below it are dropped.
 Level get_level();
 void set_level(Level level);
+
+/// Receives every emitted (level, formatted message) pair. Calls are
+/// serialized by the logger's emit lock.
+using Sink = std::function<void(Level, std::string_view)>;
+
+/// Replace the output sink; an empty sink restores the std::cerr default.
+/// Safe to call while other threads log.
+void set_sink(Sink sink);
 
 namespace detail {
 void emit(Level level, std::string_view message);
@@ -26,7 +62,7 @@ template <typename... Args>
 void write(Level level, Args&&... args) {
   if (level < get_level()) return;
   std::ostringstream oss;
-  (oss << ... << args);
+  (oss << ... << std::forward<Args>(args));
   detail::emit(level, oss.str());
 }
 

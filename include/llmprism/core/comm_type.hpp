@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -54,11 +55,41 @@ struct PairClassification {
   std::size_t num_steps_observed = 0;
 };
 
+/// Deterministic work/outcome counters of one identify() call — what the
+/// stage filtered or repaired, which otherwise vanishes silently. Event
+/// counts only (no wall clock): totals are thread-count-invariant and are
+/// folded into PrismReport::telemetry.
+struct CommTypeCounters {
+  /// BOCD step-division work across the job's pairs.
+  SegmenterStats segmenter;
+  /// Rare-size clusters judged collector artifacts (below min_size_share)
+  /// and excluded from distinct-size counting.
+  std::uint64_t artifact_size_clusters = 0;
+  /// Flows inside those artifact clusters.
+  std::uint64_t artifact_flows = 0;
+  /// Segments that carried only artifact sizes and contributed no
+  /// distinct-size evidence.
+  std::uint64_t artifact_segments = 0;
+  /// PP pairs flipped to DP by the transitivity refinement.
+  std::uint64_t refinement_flips = 0;
+
+  CommTypeCounters& operator+=(const CommTypeCounters& other) {
+    segmenter += other.segmenter;
+    artifact_size_clusters += other.artifact_size_clusters;
+    artifact_flows += other.artifact_flows;
+    artifact_segments += other.artifact_segments;
+    refinement_flips += other.refinement_flips;
+    return *this;
+  }
+};
+
 struct CommTypeResult {
   std::vector<PairClassification> pairs;
   /// Connected components of the DP graph — the recovered DP groups
   /// (GPU ids, ascending within each component).
   std::vector<std::vector<GpuId>> dp_components;
+  /// Self-telemetry of the identification run.
+  CommTypeCounters counters;
 
   [[nodiscard]] std::unordered_map<GpuPair, CommType> types() const;
 };

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,12 +53,36 @@ struct KSigmaConfig {
   double min_relative_excess = 0.2;
 };
 
+/// Deterministic work counters of the k-sigma rule: how many series and
+/// points were scored and how many alerts fired. Without these, "the
+/// detector ran but found nothing" and "the detector abstained on every
+/// series" are indistinguishable. Event counts only (no wall clock) so
+/// totals are thread-count-invariant.
+struct KSigmaStats {
+  /// Series handed to the rule, including ones it abstained on
+  /// (size < min_samples).
+  std::uint64_t series = 0;
+  /// Points actually scored (abstained series contribute none).
+  std::uint64_t points = 0;
+  /// Outliers reported.
+  std::uint64_t alerts = 0;
+
+  KSigmaStats& operator+=(const KSigmaStats& other) {
+    series += other.series;
+    points += other.points;
+    alerts += other.alerts;
+    return *this;
+  }
+};
+
 /// Indices i with xs[i] > mean + k*sigma (and above the relative margin).
 [[nodiscard]] std::vector<std::size_t> ksigma_outliers_above(
-    std::span<const double> xs, const KSigmaConfig& config);
+    std::span<const double> xs, const KSigmaConfig& config,
+    KSigmaStats* stats = nullptr);
 /// Indices i with xs[i] < mean - k*sigma (and below the relative margin).
 [[nodiscard]] std::vector<std::size_t> ksigma_outliers_below(
-    std::span<const double> xs, const KSigmaConfig& config);
+    std::span<const double> xs, const KSigmaConfig& config,
+    KSigmaStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 
@@ -109,19 +134,22 @@ class Diagnoser {
  public:
   explicit Diagnoser(DiagnosisConfig config = {});
 
-  /// Cross-step diagnosis over one GPU's reconstructed steps.
+  /// Cross-step diagnosis over one GPU's reconstructed steps. When `stats`
+  /// is non-null, the k-sigma work counters accumulate into it.
   [[nodiscard]] std::vector<StepAlert> cross_step(
-      const GpuTimeline& timeline) const;
+      const GpuTimeline& timeline, KSigmaStats* stats = nullptr) const;
 
   /// Cross-step over many timelines (concatenated alerts).
   [[nodiscard]] std::vector<StepAlert> cross_step(
-      std::span<const GpuTimeline> timelines) const;
+      std::span<const GpuTimeline> timelines,
+      KSigmaStats* stats = nullptr) const;
 
   /// Cross-group diagnosis. durations[g][k] = DP duration (seconds) of
   /// group g in step k; rows may have differing lengths (partial windows) —
   /// each step uses the groups that observed it.
   [[nodiscard]] std::vector<GroupAlert> cross_group(
-      const std::vector<std::vector<double>>& group_step_durations) const;
+      const std::vector<std::vector<double>>& group_step_durations,
+      KSigmaStats* stats = nullptr) const;
 
   /// Per-switch DP bandwidth degradation. `dp_flows` must contain only
   /// flows classified DP (caller filters via CommTypeResult).
@@ -133,7 +161,7 @@ class Diagnoser {
   /// still carry fast flows on their unpolluted paths — so "even the best
   /// flows are slow" isolates the switch that is itself the bottleneck.
   [[nodiscard]] std::vector<SwitchBandwidthAlert> switch_bandwidth(
-      const FlowTrace& dp_flows) const;
+      const FlowTrace& dp_flows, KSigmaStats* stats = nullptr) const;
 
   /// Peak concurrent distinct DP flows per switch vs. the configured limit.
   [[nodiscard]] std::vector<SwitchConcurrencyAlert> switch_concurrency(

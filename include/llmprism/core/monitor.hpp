@@ -48,6 +48,10 @@ struct MonitorStats {
   /// reorder slack) and were discarded.
   std::size_t flows_dropped_late = 0;
   std::size_t windows_completed = 0;
+  /// Distinct stable job identities ever minted. Ids are recycled across
+  /// windows, so a value growing in step with windows_completed means the
+  /// machine-set keys churn (identity tracking is not holding).
+  std::size_t stable_ids_created = 0;
   std::size_t step_alerts = 0;
   std::size_t group_alerts = 0;
   std::size_t switch_bandwidth_alerts = 0;

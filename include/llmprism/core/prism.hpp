@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,47 @@ struct JobAnalysis {
   std::vector<GroupAlert> group_alerts;
 };
 
+/// Deterministic self-telemetry of one analyze() call: what each stage
+/// consumed, filtered, repaired and produced. Every field is an event
+/// count — the same flows produce the same events no matter how the
+/// per-job fan-out is scheduled, so the block is bit-identical across
+/// `num_threads` values (enforced by tests/test_parallel_equivalence.cpp).
+/// Wall-clock timings deliberately live elsewhere (the obs registry
+/// histograms and trace spans), because they can never be
+/// thread-count-invariant.
+struct ReportTelemetry {
+  // ---- flow routing ----
+  std::uint64_t flows_total = 0;         ///< flows in the analyzed window
+  std::uint64_t flows_routed = 0;        ///< attributed to a recognized job
+  std::uint64_t flows_unattributed = 0;  ///< no recognized job claims them
+
+  // ---- communication-type identification (Alg. 2) ----
+  std::uint64_t pairs_classified = 0;
+  std::uint64_t pairs_dp = 0;
+  std::uint64_t pairs_pp = 0;
+  std::uint64_t refinement_flips = 0;  ///< PP→DP transitivity repairs
+  std::uint64_t artifact_size_clusters = 0;
+  std::uint64_t artifact_flows = 0;
+  std::uint64_t artifact_segments = 0;
+
+  // ---- BOCD gap segmentation (comm-type + timeline stages combined) ----
+  std::uint64_t bocd_observations = 0;
+  std::uint64_t bocd_boundaries = 0;
+  std::uint64_t bocd_hard_resets = 0;
+
+  // ---- timeline reconstruction ----
+  std::uint64_t timelines_reconstructed = 0;
+  std::uint64_t timeline_events = 0;
+  std::uint64_t steps_reconstructed = 0;
+
+  // ---- k-sigma diagnosis (cross-step, cross-group, switch-level) ----
+  std::uint64_t ksigma_series = 0;
+  std::uint64_t ksigma_points = 0;
+  std::uint64_t ksigma_alerts = 0;
+
+  ReportTelemetry& operator+=(const ReportTelemetry& other);
+};
+
 struct PrismReport {
   JobRecognitionResult recognition;
   std::vector<JobAnalysis> jobs;
@@ -58,6 +100,8 @@ struct PrismReport {
   std::vector<std::pair<SwitchId, double>> switch_bandwidth_gbps;
   std::vector<SwitchBandwidthAlert> switch_bandwidth_alerts;
   std::vector<SwitchConcurrencyAlert> switch_concurrency_alerts;
+  /// Pipeline self-telemetry (deterministic event counts; see above).
+  ReportTelemetry telemetry;
 };
 
 class Prism {

@@ -82,10 +82,14 @@ class TimelineReconstructor {
       GpuId gpu, const FlowTrace& job_trace,
       const std::unordered_map<GpuPair, CommType>& types) const;
 
-  /// Reconstruct every GPU that appears in the trace.
+  /// Reconstruct every GPU that appears in the trace. When
+  /// `segmenter_stats` is non-null, the DP-burst segmentation's BOCD work
+  /// counters are accumulated into it (deterministic event counts — see
+  /// PrismReport::telemetry).
   [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
       const FlowTrace& job_trace,
-      const std::unordered_map<GpuPair, CommType>& types) const;
+      const std::unordered_map<GpuPair, CommType>& types,
+      SegmenterStats* segmenter_stats = nullptr) const;
 
  private:
   TimelineConfig config_;

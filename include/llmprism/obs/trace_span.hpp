@@ -1,0 +1,95 @@
+// Self-telemetry: RAII pipeline trace spans with Chrome trace_event
+// export (loadable in Perfetto / chrome://tracing).
+//
+// A Span marks one timed region of the pipeline ("prism.analyze",
+// "job.timeline", "monitor.window", ...). Collection is globally gated:
+// when the collector is disabled (the default) a Span costs one relaxed
+// atomic load and records nothing, so production paths can be annotated
+// unconditionally — `BM_ObsOverhead_SpanDisabled` pins the cost.
+//
+// Completed spans go into per-thread buffers (one uncontended mutex each;
+// a thread only ever races its own buffer against a drain), so concurrent
+// per-job / per-window tasks never serialize on a shared sink. drain()
+// gathers and clears every buffer; write_chrome_trace() emits the
+// standard `{"traceEvents":[...]}` JSON with complete ("ph":"X") events.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace llmprism::obs {
+
+/// One completed span. `name` must be a string with static storage
+/// duration (every call site passes a literal); `arg` is an optional
+/// numeric payload (job id, window ordinal) surfaced as args.id.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;       ///< stable small id of the recording thread
+  std::int64_t start_us = 0;   ///< steady-clock microseconds
+  std::int64_t dur_us = 0;
+  std::uint64_t arg = kNoArg;
+
+  static constexpr std::uint64_t kNoArg = ~std::uint64_t{0};
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Collect and clear all completed spans, sorted by (start, tid).
+  [[nodiscard]] std::vector<SpanRecord> drain();
+
+  /// Drain and emit Chrome trace_event JSON.
+  void write_chrome_trace(std::ostream& os);
+
+  /// Append one completed span to the calling thread's buffer.
+  void record(const SpanRecord& span);
+
+ private:
+  TraceCollector() = default;
+
+  struct ThreadBuffer {
+    std::mutex mu;   ///< owner thread vs. drain; never owner vs. owner
+    std::vector<SpanRecord> spans;
+    std::uint32_t tid = 0;
+  };
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;  ///< guards buffers_ registration and iteration
+  /// shared_ptr keeps buffers alive past their owning thread's exit.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// Write Chrome trace_event JSON for an explicit span list (drain() +
+/// post-processing workflows).
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans);
+
+/// RAII span: times construction -> destruction when the collector is
+/// enabled, records nothing otherwise. `name` must be a literal (static
+/// storage duration).
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t arg = SpanRecord::kNoArg);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null when the collector was disabled
+  std::int64_t start_us_ = 0;
+  std::uint64_t arg_ = SpanRecord::kNoArg;
+};
+
+}  // namespace llmprism::obs

@@ -4,9 +4,34 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "llmprism/obs/metrics.hpp"
+
 namespace llmprism {
 
 namespace {
+
+/// Registry counters for segmenter work — looked up once, then relaxed
+/// atomic adds in bulk per call (never per observation).
+struct SegmenterMetrics {
+  obs::Counter& observations;
+  obs::Counter& boundaries;
+  obs::Counter& hard_resets;
+};
+
+SegmenterMetrics& segmenter_metrics() {
+  static SegmenterMetrics metrics{
+      obs::default_registry().counter(
+          "llmprism_bocd_observations_total",
+          "BOCD observations consumed by gap segmentation"),
+      obs::default_registry().counter(
+          "llmprism_bocd_boundaries_total",
+          "Segment boundaries opened by gap segmentation"),
+      obs::default_registry().counter(
+          "llmprism_bocd_hard_resets_total",
+          "Degenerate BOCD restarts (all hypotheses at zero likelihood)"),
+  };
+  return metrics;
+}
 
 /// Thread-safe log-gamma. libc's lgamma() writes the process-global
 /// `signgam`, which races when per-job analysis tasks run BOCD
@@ -59,6 +84,7 @@ void BocdDetector::reset() {
   last_cp_probability_ = 0.0;
   last_recent_probability_ = 0.0;
   t_ = 0;
+  hard_resets_ = 0;
 }
 
 double BocdDetector::log_predictive(const RunComponent& c, double x) const {
@@ -120,6 +146,7 @@ double BocdDetector::observe(double x) {
     last_cp_probability_ = 1.0;
     last_recent_probability_ = 1.0;
     ++t_;
+    ++hard_resets_;
     return last_cp_probability_;
   }
 
@@ -184,7 +211,8 @@ std::vector<std::size_t> detect_changepoints(std::span<const double> xs,
 }
 
 std::vector<std::size_t> segment_by_gaps(std::span<const TimeNs> timestamps,
-                                         const SegmenterConfig& config) {
+                                         const SegmenterConfig& config,
+                                         SegmenterStats* stats) {
   std::vector<std::size_t> starts;
   if (timestamps.empty()) return starts;
   starts.push_back(0);
@@ -250,6 +278,16 @@ std::vector<std::size_t> segment_by_gaps(std::span<const TimeNs> timestamps,
     }
     prev_flagged = flagged;
   }
+
+  SegmenterStats call_stats;
+  call_stats.observations = detector.observations_seen();
+  call_stats.boundaries = starts.size() - 1;
+  call_stats.hard_resets = detector.hard_resets();
+  if (stats) *stats += call_stats;
+  SegmenterMetrics& metrics = segmenter_metrics();
+  metrics.observations.inc(call_stats.observations);
+  metrics.boundaries.inc(call_stats.boundaries);
+  metrics.hard_resets.inc(call_stats.hard_resets);
   return starts;
 }
 

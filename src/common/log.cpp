@@ -1,29 +1,35 @@
 #include "llmprism/common/log.hpp"
 
 #include <atomic>
+#include <iostream>
+#include <mutex>
+#include <string>
 
 namespace llmprism::log {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_emit_mutex;
+std::mutex g_emit_mutex;  ///< serializes emissions AND sink swaps
+Sink g_sink;              ///< empty = default std::cerr sink
 
-constexpr std::string_view level_name(Level level) {
-  switch (level) {
-    case Level::kDebug:
-      return "DEBUG";
-    case Level::kInfo:
-      return "INFO";
-    case Level::kWarn:
-      return "WARN";
-    case Level::kError:
-      return "ERROR";
-    case Level::kOff:
-      return "OFF";
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
   }
-  return "?";
+  return out;
 }
 }  // namespace
+
+std::optional<Level> parse_level(std::string_view name) {
+  const std::string n = lowered(name);
+  if (n == "debug") return Level::kDebug;
+  if (n == "info") return Level::kInfo;
+  if (n == "warn" || n == "warning") return Level::kWarn;
+  if (n == "error") return Level::kError;
+  if (n == "off" || n == "none") return Level::kOff;
+  return std::nullopt;
+}
 
 Level get_level() { return g_level.load(std::memory_order_relaxed); }
 
@@ -31,9 +37,18 @@ void set_level(Level level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 void emit(Level level, std::string_view message) {
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << "[llmprism:" << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -5,10 +5,42 @@
 #include <unordered_set>
 
 #include "llmprism/common/stats.hpp"
+#include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
 
 namespace {
+
+/// Registry counters for what this stage filters or repairs; bulk-added
+/// once per identify() call.
+struct CommTypeMetrics {
+  obs::Counter& pairs;
+  obs::Counter& artifact_clusters;
+  obs::Counter& artifact_flows;
+  obs::Counter& artifact_segments;
+  obs::Counter& refinement_flips;
+};
+
+CommTypeMetrics& comm_type_metrics() {
+  static CommTypeMetrics metrics{
+      obs::default_registry().counter(
+          "llmprism_comm_type_pairs_total",
+          "Communication pairs classified by Alg. 2"),
+      obs::default_registry().counter(
+          "llmprism_comm_type_artifact_clusters_total",
+          "Rare-size clusters dropped as collector artifacts"),
+      obs::default_registry().counter(
+          "llmprism_comm_type_artifact_flows_total",
+          "Flows inside dropped artifact size clusters"),
+      obs::default_registry().counter(
+          "llmprism_comm_type_artifact_segments_total",
+          "Steps skipped for carrying only artifact sizes"),
+      obs::default_registry().counter(
+          "llmprism_comm_type_refinement_flips_total",
+          "PP pairs flipped to DP by the transitivity refinement"),
+  };
+  return metrics;
+}
 
 /// Iterative DFS collecting the connected component of `start` in an
 /// adjacency-list graph.
@@ -92,7 +124,8 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
                 return job_trace[a].start_time < job_trace[b].start_time;
               });
 
-    const auto segment_starts = segment_by_gaps(timestamps, config_.segmenter);
+    const auto segment_starts = segment_by_gaps(timestamps, config_.segmenter,
+                                                &result.counters.segmenter);
     pc.num_steps_observed = segment_starts.size();
 
     // Pair-level size clusters with tolerance merging; clusters carrying
@@ -127,6 +160,10 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
           config_.min_size_share * static_cast<double>(sizes.size());
       for (SizeCluster& c : clusters) {
         c.kept = static_cast<double>(c.count) >= min_count;
+        if (!c.kept) {
+          ++result.counters.artifact_size_clusters;
+          result.counters.artifact_flows += c.count;
+        }
       }
     }
     const auto cluster_of = [&](std::uint64_t size) -> std::size_t {
@@ -155,6 +192,8 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
       if (!seen_clusters.empty()) {
         distinct_per_step.push_back(
             static_cast<std::int64_t>(seen_clusters.size()));
+      } else {
+        ++result.counters.artifact_segments;
       }
     }
     const std::int64_t mode_distinct =
@@ -208,7 +247,10 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
       if (p.type != CommType::kPP) continue;
       const std::size_t cu = component_of[node_index.at(p.pair.first)];
       const std::size_t cv = component_of[node_index.at(p.pair.second)];
-      if (cu != SIZE_MAX && cu == cv) p.type = CommType::kDP;
+      if (cu != SIZE_MAX && cu == cv) {
+        p.type = CommType::kDP;
+        ++result.counters.refinement_flips;
+      }
     }
   }
 
@@ -219,6 +261,13 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
             });
   std::sort(result.dp_components.begin(), result.dp_components.end(),
             [](const auto& a, const auto& b) { return a.front() < b.front(); });
+
+  CommTypeMetrics& metrics = comm_type_metrics();
+  metrics.pairs.inc(result.pairs.size());
+  metrics.artifact_clusters.inc(result.counters.artifact_size_clusters);
+  metrics.artifact_flows.inc(result.counters.artifact_flows);
+  metrics.artifact_segments.inc(result.counters.artifact_segments);
+  metrics.refinement_flips.inc(result.counters.refinement_flips);
   return result;
 }
 

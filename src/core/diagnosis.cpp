@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "llmprism/common/stats.hpp"
+#include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
 
@@ -13,6 +14,43 @@ namespace {
 
 /// Consistency factor making the MAD estimate sigma for Gaussian data.
 constexpr double kMadToSigma = 1.4826;
+
+/// Registry counters for k-sigma work — looked up once, bulk-added once
+/// per evaluated series (never per point).
+struct KSigmaMetrics {
+  obs::Counter& series;
+  obs::Counter& points;
+  obs::Counter& alerts;
+};
+
+KSigmaMetrics& ksigma_metrics() {
+  static KSigmaMetrics metrics{
+      obs::default_registry().counter(
+          "llmprism_ksigma_series_total",
+          "Series handed to the k-sigma rule (including abstentions)"),
+      obs::default_registry().counter(
+          "llmprism_ksigma_points_total",
+          "Points scored by the k-sigma rule"),
+      obs::default_registry().counter(
+          "llmprism_ksigma_alerts_total",
+          "Outliers reported by the k-sigma rule"),
+  };
+  return metrics;
+}
+
+/// Record one ksigma_outliers_* call in both telemetry channels.
+void note_ksigma_call(std::size_t points_scored, std::size_t alerts,
+                      KSigmaStats* stats) {
+  KSigmaStats call;
+  call.series = 1;
+  call.points = points_scored;
+  call.alerts = alerts;
+  if (stats) *stats += call;
+  KSigmaMetrics& metrics = ksigma_metrics();
+  metrics.series.inc(call.series);
+  metrics.points.inc(call.points);
+  metrics.alerts.inc(call.alerts);
+}
 
 /// Reference statistics for scoring point i: either global or of all
 /// points except i (leave-one-out).
@@ -70,9 +108,13 @@ class ReferenceComputer {
 }  // namespace
 
 std::vector<std::size_t> ksigma_outliers_above(std::span<const double> xs,
-                                               const KSigmaConfig& config) {
+                                               const KSigmaConfig& config,
+                                               KSigmaStats* stats) {
   std::vector<std::size_t> out;
-  if (xs.size() < config.min_samples) return out;
+  if (xs.size() < config.min_samples) {
+    note_ksigma_call(0, 0, stats);
+    return out;
+  }
   const ReferenceComputer refs(xs, config);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const Reference r = refs.at(i);
@@ -81,13 +123,18 @@ std::vector<std::size_t> ksigma_outliers_above(std::span<const double> xs,
       out.push_back(i);
     }
   }
+  note_ksigma_call(xs.size(), out.size(), stats);
   return out;
 }
 
 std::vector<std::size_t> ksigma_outliers_below(std::span<const double> xs,
-                                               const KSigmaConfig& config) {
+                                               const KSigmaConfig& config,
+                                               KSigmaStats* stats) {
   std::vector<std::size_t> out;
-  if (xs.size() < config.min_samples) return out;
+  if (xs.size() < config.min_samples) {
+    note_ksigma_call(0, 0, stats);
+    return out;
+  }
   const ReferenceComputer refs(xs, config);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const Reference r = refs.at(i);
@@ -96,13 +143,14 @@ std::vector<std::size_t> ksigma_outliers_below(std::span<const double> xs,
       out.push_back(i);
     }
   }
+  note_ksigma_call(xs.size(), out.size(), stats);
   return out;
 }
 
 Diagnoser::Diagnoser(DiagnosisConfig config) : config_(config) {}
 
-std::vector<StepAlert> Diagnoser::cross_step(
-    const GpuTimeline& timeline) const {
+std::vector<StepAlert> Diagnoser::cross_step(const GpuTimeline& timeline,
+                                             KSigmaStats* stats) const {
   std::vector<StepAlert> alerts;
   // Step 0 has no preceding DP burst, so its reconstructed duration is a
   // window artefact — exclude it from the series.
@@ -114,7 +162,7 @@ std::vector<StepAlert> Diagnoser::cross_step(
   }
   const ReferenceComputer refs(durations, config_.ksigma);
   for (const std::size_t i :
-       ksigma_outliers_above(durations, config_.ksigma)) {
+       ksigma_outliers_above(durations, config_.ksigma, stats)) {
     const Reference r = refs.at(i);
     StepAlert a;
     a.gpu = timeline.gpu;
@@ -128,17 +176,18 @@ std::vector<StepAlert> Diagnoser::cross_step(
 }
 
 std::vector<StepAlert> Diagnoser::cross_step(
-    std::span<const GpuTimeline> timelines) const {
+    std::span<const GpuTimeline> timelines, KSigmaStats* stats) const {
   std::vector<StepAlert> alerts;
   for (const GpuTimeline& t : timelines) {
-    const auto a = cross_step(t);
+    const auto a = cross_step(t, stats);
     alerts.insert(alerts.end(), a.begin(), a.end());
   }
   return alerts;
 }
 
 std::vector<GroupAlert> Diagnoser::cross_group(
-    const std::vector<std::vector<double>>& group_step_durations) const {
+    const std::vector<std::vector<double>>& group_step_durations,
+    KSigmaStats* stats) const {
   std::vector<GroupAlert> alerts;
   std::size_t max_steps = 0;
   for (const auto& row : group_step_durations) {
@@ -155,7 +204,7 @@ std::vector<GroupAlert> Diagnoser::cross_group(
     }
     const ReferenceComputer refs(durations, config_.ksigma);
     for (const std::size_t i :
-         ksigma_outliers_above(durations, config_.ksigma)) {
+         ksigma_outliers_above(durations, config_.ksigma, stats)) {
       const Reference r = refs.at(i);
       GroupAlert a;
       a.group_index = group_idx[i];
@@ -213,7 +262,7 @@ Diagnoser::per_switch_bandwidth_percentile(const FlowTrace& dp_flows,
 }
 
 std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
-    const FlowTrace& dp_flows) const {
+    const FlowTrace& dp_flows, KSigmaStats* stats) const {
   const auto per_switch = per_switch_bandwidth_percentile(
       dp_flows, config_.switch_health_percentile);
   std::vector<double> values;
@@ -223,7 +272,7 @@ std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
   const ReferenceComputer refs(values, config_.switch_ksigma);
   std::vector<SwitchBandwidthAlert> alerts;
   for (const std::size_t i :
-       ksigma_outliers_below(values, config_.switch_ksigma)) {
+       ksigma_outliers_below(values, config_.switch_ksigma, stats)) {
     const Reference r = refs.at(i);
     SwitchBandwidthAlert a;
     a.switch_id = per_switch[i].first;

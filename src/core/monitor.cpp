@@ -6,7 +6,52 @@
 #include <string>
 #include <utility>
 
+#include "llmprism/common/time.hpp"
+#include "llmprism/obs/metrics.hpp"
+#include "llmprism/obs/trace_span.hpp"
+
 namespace llmprism {
+
+namespace {
+
+/// Registry instruments for the online-monitoring loop; looked up once,
+/// bulk-updated once per ingest() call.
+struct MonitorMetrics {
+  obs::Counter& flows_ingested;
+  obs::Counter& flows_dropped_late;
+  obs::Counter& windows_completed;
+  obs::Counter& stable_ids;
+  obs::Gauge& window_lag_seconds;
+  obs::Gauge& windows_in_flight;
+  obs::Gauge& buffered_flows;
+};
+
+MonitorMetrics& monitor_metrics() {
+  static MonitorMetrics metrics{
+      obs::default_registry().counter("llmprism_monitor_flows_ingested_total",
+                                      "Flows accepted into the window buffer"),
+      obs::default_registry().counter(
+          "llmprism_monitor_flows_dropped_late_total",
+          "Flows discarded for arriving beyond the reorder slack"),
+      obs::default_registry().counter(
+          "llmprism_monitor_windows_completed_total",
+          "Analysis windows closed and analyzed"),
+      obs::default_registry().counter(
+          "llmprism_monitor_stable_ids_total",
+          "Distinct stable job identities minted"),
+      obs::default_registry().gauge(
+          "llmprism_monitor_window_lag_seconds",
+          "Watermark minus oldest un-analyzed window begin"),
+      obs::default_registry().gauge(
+          "llmprism_monitor_windows_in_flight",
+          "Windows being analyzed concurrently right now"),
+      obs::default_registry().gauge("llmprism_monitor_buffered_flows",
+                                    "Flows waiting in the reorder buffer"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 OnlineMonitor::OnlineMonitor(const ClusterTopology& topology,
                              MonitorConfig config)
@@ -34,7 +79,11 @@ MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
     key += ',';
   }
   const auto [it, inserted] = job_ids_.emplace(std::move(key), next_job_id_);
-  if (inserted) ++next_job_id_;
+  if (inserted) {
+    ++next_job_id_;
+    ++stats_.stable_ids_created;
+    monitor_metrics().stable_ids.inc();
+  }
   return it->second;
 }
 
@@ -58,15 +107,21 @@ void OnlineMonitor::finish_tick(MonitorTick& tick) {
 
 MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
                                           FlowTrace flows) {
+  const obs::Span span("monitor.window");
   MonitorTick tick;
   tick.window = window;
   flows.sort();
   tick.report = prism_.analyze(flows);
   finish_tick(tick);
+  monitor_metrics().windows_completed.inc();
   return tick;
 }
 
 std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
+  const obs::Span ingest_span("monitor.ingest");
+  MonitorMetrics& metrics = monitor_metrics();
+  std::size_t batch_ingested = 0;
+  std::size_t batch_dropped = 0;
   for (const FlowRecord& f : batch) {
     if (!window_origin_set_) {
       window_begin_ = f.start_time;
@@ -77,12 +132,16 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
       // Arrived later than the reorder slack allows: its window is already
       // closed and analyzed. Count and drop.
       ++stats_.flows_dropped_late;
+      ++batch_dropped;
       continue;
     }
     buffer_.add(f);
     watermark_ = std::max(watermark_, f.start_time);
     ++stats_.flows_ingested;
+    ++batch_ingested;
   }
+  metrics.flows_ingested.inc(batch_ingested);
+  metrics.flows_dropped_late.inc(batch_dropped);
 
   // Slice off every window whose end the watermark has safely passed.
   std::vector<std::pair<TimeWindow, FlowTrace>> closed;
@@ -103,12 +162,21 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   // then assign stable ids and stats sequentially in time order so both are
   // independent of which window finished first.
   std::vector<MonitorTick> ticks(closed.size());
+  metrics.windows_in_flight.set(static_cast<double>(closed.size()));
   parallel_for(window_pool_.get(), closed.size(), [&](std::size_t i) {
+    const obs::Span window_span("monitor.window", i);
     ticks[i].window = closed[i].first;
     closed[i].second.sort();
     ticks[i].report = prism_.analyze(closed[i].second);
   });
+  metrics.windows_in_flight.set(0.0);
   for (MonitorTick& tick : ticks) finish_tick(tick);
+  metrics.windows_completed.inc(ticks.size());
+
+  // Health gauges: how far analysis trails the feed, and what is buffered.
+  metrics.window_lag_seconds.set(
+      window_origin_set_ ? to_seconds(watermark_ - window_begin_) : 0.0);
+  metrics.buffered_flows.set(static_cast<double>(buffer_.size()));
   return ticks;
 }
 

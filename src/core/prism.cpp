@@ -4,8 +4,102 @@
 
 #include "llmprism/common/log.hpp"
 #include "llmprism/common/thread_pool.hpp"
+#include "llmprism/obs/metrics.hpp"
+#include "llmprism/obs/trace_span.hpp"
 
 namespace llmprism {
+
+namespace {
+
+/// Registry instruments for the whole-pipeline view; looked up once.
+struct PrismMetrics {
+  obs::Counter& analyses;
+  obs::Counter& jobs;
+  obs::Counter& flows_routed;
+  obs::Counter& flows_unattributed;
+  obs::Histogram& analyze_seconds;
+};
+
+PrismMetrics& prism_metrics() {
+  static PrismMetrics metrics{
+      obs::default_registry().counter("llmprism_analyses_total",
+                                      "Prism::analyze calls completed"),
+      obs::default_registry().counter("llmprism_jobs_recognized_total",
+                                      "Training jobs recognized (Alg. 1)"),
+      obs::default_registry().counter(
+          "llmprism_flows_routed_total",
+          "Flows attributed to a recognized job"),
+      obs::default_registry().counter(
+          "llmprism_flows_unattributed_total",
+          "Flows no recognized job claims"),
+      obs::default_registry().histogram(
+          "llmprism_analyze_seconds",
+          "Wall-clock duration of Prism::analyze"),
+  };
+  return metrics;
+}
+
+/// Fold one job's stage counters into the report-level telemetry block.
+/// Called in job-id order, so the totals are scheduling-independent.
+void fold_job_telemetry(ReportTelemetry& t, const JobAnalysis& analysis,
+                        const SegmenterStats& timeline_segmenter,
+                        const KSigmaStats& job_ksigma) {
+  const CommTypeCounters& ct = analysis.comm_types.counters;
+  t.pairs_classified += analysis.comm_types.pairs.size();
+  for (const PairClassification& p : analysis.comm_types.pairs) {
+    if (p.type == CommType::kDP) {
+      ++t.pairs_dp;
+    } else {
+      ++t.pairs_pp;
+    }
+  }
+  t.refinement_flips += ct.refinement_flips;
+  t.artifact_size_clusters += ct.artifact_size_clusters;
+  t.artifact_flows += ct.artifact_flows;
+  t.artifact_segments += ct.artifact_segments;
+
+  t.bocd_observations += ct.segmenter.observations;
+  t.bocd_boundaries += ct.segmenter.boundaries;
+  t.bocd_hard_resets += ct.segmenter.hard_resets;
+  t.bocd_observations += timeline_segmenter.observations;
+  t.bocd_boundaries += timeline_segmenter.boundaries;
+  t.bocd_hard_resets += timeline_segmenter.hard_resets;
+
+  t.timelines_reconstructed += analysis.timelines.size();
+  for (const GpuTimeline& tl : analysis.timelines) {
+    t.timeline_events += tl.events.size();
+    t.steps_reconstructed += tl.steps.size();
+  }
+
+  t.ksigma_series += job_ksigma.series;
+  t.ksigma_points += job_ksigma.points;
+  t.ksigma_alerts += job_ksigma.alerts;
+}
+
+}  // namespace
+
+ReportTelemetry& ReportTelemetry::operator+=(const ReportTelemetry& other) {
+  flows_total += other.flows_total;
+  flows_routed += other.flows_routed;
+  flows_unattributed += other.flows_unattributed;
+  pairs_classified += other.pairs_classified;
+  pairs_dp += other.pairs_dp;
+  pairs_pp += other.pairs_pp;
+  refinement_flips += other.refinement_flips;
+  artifact_size_clusters += other.artifact_size_clusters;
+  artifact_flows += other.artifact_flows;
+  artifact_segments += other.artifact_segments;
+  bocd_observations += other.bocd_observations;
+  bocd_boundaries += other.bocd_boundaries;
+  bocd_hard_resets += other.bocd_hard_resets;
+  timelines_reconstructed += other.timelines_reconstructed;
+  timeline_events += other.timeline_events;
+  steps_reconstructed += other.steps_reconstructed;
+  ksigma_series += other.ksigma_series;
+  ksigma_points += other.ksigma_points;
+  ksigma_alerts += other.ksigma_alerts;
+  return *this;
+}
 
 Prism::Prism(const ClusterTopology& topology, PrismConfig config)
     : topology_(topology), config_(std::move(config)) {
@@ -22,10 +116,16 @@ std::size_t Prism::num_threads() const {
 
 PrismReport Prism::analyze(const FlowTrace& trace) const {
   PrismReport report;
+  PrismMetrics& metrics = prism_metrics();
+  const obs::ScopedTimer analyze_timer(metrics.analyze_seconds);
+  const obs::Span analyze_span("prism.analyze");
 
   // (1) job recognition
   const JobRecognizer recognizer(topology_, config_.recognition);
-  report.recognition = recognizer.recognize(trace);
+  {
+    const obs::Span span("prism.recognize");
+    report.recognition = recognizer.recognize(trace);
+  }
   log::info("prism: recognized ", report.recognition.jobs.size(),
             " jobs from ", report.recognition.num_cross_machine_clusters,
             " cross-machine clusters");
@@ -39,23 +139,35 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
   }
   const std::size_t num_jobs = report.recognition.jobs.size();
   std::vector<FlowTrace> job_traces(num_jobs);
-  for (const FlowRecord& f : trace) {
-    const auto it = job_of_gpu.find(f.src);
-    if (it != job_of_gpu.end()) job_traces[it->second].add(f);
+  {
+    const obs::Span span("prism.route");
+    for (const FlowRecord& f : trace) {
+      const auto it = job_of_gpu.find(f.src);
+      if (it != job_of_gpu.end()) job_traces[it->second].add(f);
+    }
   }
+  report.telemetry.flows_total = trace.size();
+  for (const FlowTrace& jt : job_traces) {
+    report.telemetry.flows_routed += jt.size();
+  }
+  report.telemetry.flows_unattributed =
+      report.telemetry.flows_total - report.telemetry.flows_routed;
 
   const CommTypeIdentifier identifier(config_.comm_type);
   const TimelineReconstructor reconstructor(config_.timeline);
   const Diagnoser diagnoser(config_.diagnosis);
 
   // (2)-(4a) per-job stage, one task per recognized job. Each task owns its
-  // slot in `analyses` / `job_dp_flows` and touches nothing else, so the
-  // result cannot depend on scheduling; DP flows are merged in job-id order
-  // below, which keeps the cluster-wide stage's input byte-identical to the
-  // sequential path.
+  // slot in `analyses` / `job_dp_flows` / the two stats vectors and touches
+  // nothing else, so the result cannot depend on scheduling; DP flows and
+  // telemetry are merged in job-id order below, which keeps the
+  // cluster-wide stage's input byte-identical to the sequential path.
   std::vector<JobAnalysis> analyses(num_jobs);
   std::vector<FlowTrace> job_dp_flows(num_jobs);
+  std::vector<SegmenterStats> timeline_stats(num_jobs);
+  std::vector<KSigmaStats> ksigma_stats(num_jobs);
   parallel_for(pool_.get(), num_jobs, [&](std::size_t j) {
+    const obs::Span job_span("prism.job", j);
     JobAnalysis& analysis = analyses[j];
     analysis.id = JobId(static_cast<std::uint32_t>(j));
     analysis.job = report.recognition.jobs[j];
@@ -63,7 +175,10 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
     analysis.trace.sort();
 
     // (2) parallelism strategies
-    analysis.comm_types = identifier.identify(analysis.trace);
+    {
+      const obs::Span span("job.comm_type", j);
+      analysis.comm_types = identifier.identify(analysis.trace);
+    }
     const auto types = analysis.comm_types.types();
 
     // Collect this job's DP flows for cluster-wide switch diagnosis.
@@ -76,14 +191,23 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
 
     // (3) timelines + (4) job-level diagnosis
     if (config_.reconstruct_timelines) {
-      analysis.timelines = reconstructor.reconstruct_all(analysis.trace, types);
-      analysis.step_alerts = diagnoser.cross_step(analysis.timelines);
+      {
+        const obs::Span span("job.timeline", j);
+        analysis.timelines = reconstructor.reconstruct_all(
+            analysis.trace, types, &timeline_stats[j]);
+      }
+      const obs::Span span("job.diagnosis", j);
+      analysis.step_alerts =
+          diagnoser.cross_step(std::span<const GpuTimeline>(analysis.timelines),
+                               &ksigma_stats[j]);
       const auto durations = group_dp_durations(
           analysis.timelines, analysis.comm_types.dp_components);
-      analysis.group_alerts = diagnoser.cross_group(durations);
+      analysis.group_alerts = diagnoser.cross_group(durations,
+                                                    &ksigma_stats[j]);
     }
 
     // (2b) full 3D layout from the recovered structure
+    const obs::Span infer_span("job.infer", j);
     analysis.inferred = infer_parallelism(analysis.job.gpus.size(),
                                           analysis.comm_types,
                                           std::span(analysis.timelines));
@@ -96,13 +220,31 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
   for (const FlowTrace& dp : job_dp_flows) total_dp += dp.size();
   all_dp_flows.reserve(total_dp);
   for (const FlowTrace& dp : job_dp_flows) all_dp_flows.append(dp);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    fold_job_telemetry(report.telemetry, report.jobs[j], timeline_stats[j],
+                       ksigma_stats[j]);
+  }
 
   // (4) cluster-wide switch-level diagnosis
   all_dp_flows.sort();
-  report.switch_bandwidth_gbps = Diagnoser::per_switch_bandwidth(all_dp_flows);
-  report.switch_bandwidth_alerts = diagnoser.switch_bandwidth(all_dp_flows);
-  report.switch_concurrency_alerts =
-      diagnoser.switch_concurrency(all_dp_flows);
+  KSigmaStats switch_stats;
+  {
+    const obs::Span span("prism.switch_diagnosis");
+    report.switch_bandwidth_gbps =
+        Diagnoser::per_switch_bandwidth(all_dp_flows);
+    report.switch_bandwidth_alerts =
+        diagnoser.switch_bandwidth(all_dp_flows, &switch_stats);
+    report.switch_concurrency_alerts =
+        diagnoser.switch_concurrency(all_dp_flows);
+  }
+  report.telemetry.ksigma_series += switch_stats.series;
+  report.telemetry.ksigma_points += switch_stats.points;
+  report.telemetry.ksigma_alerts += switch_stats.alerts;
+
+  metrics.analyses.inc();
+  metrics.jobs.inc(num_jobs);
+  metrics.flows_routed.inc(report.telemetry.flows_routed);
+  metrics.flows_unattributed.inc(report.telemetry.flows_unattributed);
   return report;
 }
 

@@ -21,6 +21,28 @@ char glyph(TimelineEventKind kind) {
   return '?';
 }
 
+/// The telemetry block as JSON key/value pairs (no surrounding braces).
+void write_telemetry_fields(std::ostream& os, const ReportTelemetry& t) {
+  os << "\"flows_total\":" << t.flows_total
+     << ",\"flows_routed\":" << t.flows_routed
+     << ",\"flows_unattributed\":" << t.flows_unattributed
+     << ",\"pairs_classified\":" << t.pairs_classified
+     << ",\"pairs_dp\":" << t.pairs_dp << ",\"pairs_pp\":" << t.pairs_pp
+     << ",\"refinement_flips\":" << t.refinement_flips
+     << ",\"artifact_size_clusters\":" << t.artifact_size_clusters
+     << ",\"artifact_flows\":" << t.artifact_flows
+     << ",\"artifact_segments\":" << t.artifact_segments
+     << ",\"bocd_observations\":" << t.bocd_observations
+     << ",\"bocd_boundaries\":" << t.bocd_boundaries
+     << ",\"bocd_hard_resets\":" << t.bocd_hard_resets
+     << ",\"timelines_reconstructed\":" << t.timelines_reconstructed
+     << ",\"timeline_events\":" << t.timeline_events
+     << ",\"steps_reconstructed\":" << t.steps_reconstructed
+     << ",\"ksigma_series\":" << t.ksigma_series
+     << ",\"ksigma_points\":" << t.ksigma_points
+     << ",\"ksigma_alerts\":" << t.ksigma_alerts;
+}
+
 TimeWindow effective_window(const GpuTimeline& timeline,
                             const RenderOptions& options) {
   if (!options.window.empty()) return options.window;
@@ -167,7 +189,9 @@ void write_report_json(std::ostream& os, const PrismReport& report) {
     os << "{\"switch\":" << alert.switch_id.value() << ",\"concurrent_flows\":"
        << alert.concurrent_flows << ",\"limit\":" << alert.limit << "}";
   }
-  os << "]}\n";
+  os << "],\"telemetry\":{";
+  write_telemetry_fields(os, report.telemetry);
+  os << "}}\n";
 }
 
 std::string render_report_summary(const PrismReport& report) {
@@ -215,6 +239,17 @@ std::string render_report_summary(const PrismReport& report) {
     }
     oss << '\n';
   }
+  const ReportTelemetry& t = report.telemetry;
+  oss << "  telemetry: " << t.flows_routed << '/' << t.flows_total
+      << " flows routed (" << t.flows_unattributed << " unattributed), "
+      << t.pairs_classified << " pairs (" << t.pairs_dp << " DP/"
+      << t.pairs_pp << " PP, " << t.refinement_flips << " flips, "
+      << t.artifact_size_clusters << " artifact clusters), "
+      << t.bocd_observations << " BOCD obs (" << t.bocd_boundaries
+      << " boundaries, " << t.bocd_hard_resets << " hard resets), "
+      << t.steps_reconstructed << " steps on " << t.timelines_reconstructed
+      << " timelines, k-sigma " << t.ksigma_alerts << '/' << t.ksigma_series
+      << " series alerted\n";
   return oss.str();
 }
 

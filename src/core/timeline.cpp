@@ -27,7 +27,8 @@ TimelineEvent make_event(const FlowRecord& f, GpuId gpu,
 
 /// Build the timeline of one GPU from its (chronological) comm events.
 GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
-                     const TimelineConfig& config) {
+                     const TimelineConfig& config,
+                     SegmenterStats* segmenter_stats = nullptr) {
   GpuTimeline timeline;
   timeline.gpu = gpu;
   std::sort(comm_events.begin(), comm_events.end(),
@@ -47,7 +48,8 @@ GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
   }
 
   if (!dp_starts.empty()) {
-    const auto burst_starts = segment_by_gaps(dp_starts, config.segmenter);
+    const auto burst_starts =
+        segment_by_gaps(dp_starts, config.segmenter, segmenter_stats);
     TimeNs prev_end = comm_events.empty() ? 0 : comm_events.front().start;
     for (std::size_t b = 0; b < burst_starts.size(); ++b) {
       const std::size_t seg_begin = burst_starts[b];
@@ -103,7 +105,8 @@ GpuTimeline TimelineReconstructor::reconstruct(
 
 std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     const FlowTrace& job_trace,
-    const std::unordered_map<GpuPair, CommType>& types) const {
+    const std::unordered_map<GpuPair, CommType>& types,
+    SegmenterStats* segmenter_stats) const {
   // Single pass over the trace: bucket every flow under both endpoints.
   std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
   for (const FlowRecord& f : job_trace) {
@@ -118,7 +121,8 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
   std::vector<GpuTimeline> out;
   out.reserve(gpus.size());
   for (const GpuId g : gpus) {
-    out.push_back(assemble(g, std::move(per_gpu[g]), config_));
+    out.push_back(assemble(g, std::move(per_gpu[g]), config_,
+                           segmenter_stats));
   }
   return out;
 }

@@ -1,0 +1,247 @@
+#include "llmprism/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmprism::obs {
+
+namespace {
+
+/// JSON string escaping for metric names/help (names are plain
+/// identifiers in practice, but help text may contain anything).
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Prometheus floats: plain decimal, no locale surprises; integral values
+/// print without a fractional part.
+void write_number(std::ostream& os, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_seconds_buckets() {
+  return {1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0};
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kCounter, help, std::make_unique<Counter>(), nullptr,
+                nullptr};
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::invalid_argument("metrics: '" + name +
+                                "' already registered as a different kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kGauge, help, nullptr, std::make_unique<Gauge>(),
+                nullptr};
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    throw std::invalid_argument("metrics: '" + name +
+                                "' already registered as a different kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    if (bounds.empty()) bounds = Histogram::default_seconds_buckets();
+    Entry entry{Kind::kHistogram, help, nullptr, nullptr,
+                std::make_unique<Histogram>(std::move(bounds))};
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kHistogram) {
+    throw std::invalid_argument("metrics: '" + name +
+                                "' already registered as a different kind");
+  }
+  return *it->second.histogram;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      os << "# HELP " << name << ' ' << entry.help << '\n';
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << entry.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << ' ';
+        write_number(os, entry.gauge->value());
+        os << '\n';
+        break;
+      case Kind::kHistogram: {
+        const auto snap = entry.histogram->snapshot();
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+          cumulative += snap.counts[b];
+          os << name << "_bucket{le=\"";
+          write_number(os, snap.bounds[b]);
+          os << "\"} " << cumulative << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << snap.count << '\n'
+           << name << "_sum ";
+        write_number(os, snap.sum);
+        os << '\n' << name << "_count " << snap.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << entry.counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge) continue;
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':';
+    write_number(os, entry.gauge->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    if (!first) os << ',';
+    first = false;
+    const auto snap = entry.histogram->snapshot();
+    write_json_string(os, name);
+    os << ":{\"bounds\":[";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b != 0) os << ',';
+      write_number(os, snap.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b != 0) os << ',';
+      os << snap.counts[b];
+    }
+    os << "],\"sum\":";
+    write_number(os, snap.sum);
+    os << ",\"count\":" << snap.count << '}';
+  }
+  os << "}}\n";
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace llmprism::obs

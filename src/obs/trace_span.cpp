@@ -1,0 +1,105 @@
+#include "llmprism/obs/trace_span.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace llmprism::obs {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // One buffer per (thread, collector-lifetime); the shared_ptr in
+  // buffers_ keeps it valid for drain() even after the thread exits
+  // (thread-pool workers outlive individual analyses, but tests spawn
+  // short-lived threads).
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    const std::lock_guard<std::mutex> lock(mu_);
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void TraceCollector::record(const SpanRecord& span) {
+  ThreadBuffer& buffer = local_buffer();
+  SpanRecord stamped = span;
+  stamped.tid = buffer.tid;
+  const std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(stamped);
+}
+
+std::vector<SpanRecord> TraceCollector::drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+    buffer->spans.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans) {
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << (s.name ? s.name : "?")
+       << "\",\"cat\":\"llmprism\",\"ph\":\"X\",\"ts\":" << s.start_us
+       << ",\"dur\":" << s.dur_us << ",\"pid\":1,\"tid\":" << s.tid;
+    if (s.arg != SpanRecord::kNoArg) {
+      os << ",\"args\":{\"id\":" << s.arg << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) {
+  obs::write_chrome_trace(os, drain());
+}
+
+Span::Span(const char* name, std::uint64_t arg) {
+  if (TraceCollector::instance().enabled()) {
+    name_ = name;
+    arg_ = arg;
+    start_us_ = now_us();
+  }
+}
+
+Span::~Span() {
+  if (!name_) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.dur_us = now_us() - start_us_;
+  record.arg = arg_;
+  TraceCollector::instance().record(record);
+}
+
+}  // namespace llmprism::obs

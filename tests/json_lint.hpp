@@ -1,0 +1,172 @@
+// Minimal recursive-descent JSON well-formedness checker for tests.
+//
+// The exporters in this repo hand-emit JSON (no serializer dependency), so
+// the tests need an independent check that the output actually parses:
+// balanced quoting, commas, escapes and nesting — not just balanced braces.
+// Validation only; no DOM is built.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace llmprism::testing {
+
+class JsonLinter {
+ public:
+  explicit JsonLinter(std::string_view text) : text_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value (plus
+  /// whitespace). On failure, error() describes the first problem.
+  [[nodiscard]] bool lint() {
+    pos_ = 0;
+    error_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = what;
+      error_ += " at offset ";
+      error_ += std::to_string(pos_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return fail("expected string");
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (eof()) return fail("dangling escape");
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          --pos_;
+          return fail("bad escape character");
+        }
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero: no further integer digits allowed
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return fail("expected object");
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return fail("expected array");
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool value() {
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// One-shot helper for EXPECT_TRUE(is_valid_json(...)).
+[[nodiscard]] inline bool is_valid_json(std::string_view text) {
+  return JsonLinter(text).lint();
+}
+
+}  // namespace llmprism::testing

@@ -1,0 +1,263 @@
+// Unit tests for the self-telemetry layer: counters, gauges, histograms,
+// the registry with its two exporters, and trace-span collection.
+#include "llmprism/obs/metrics.hpp"
+#include "llmprism/obs/trace_span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "json_lint.hpp"
+
+namespace llmprism::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +Inf
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Registry r;
+  Counter& a = r.counter("x_total", "help");
+  Counter& b = r.counter("x_total", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  Registry r;
+  r.counter("metric");
+  EXPECT_THROW(r.gauge("metric"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("metric"), std::invalid_argument);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistered) {
+  Registry r;
+  r.counter("c_total").inc(5);
+  r.gauge("g").set(3.0);
+  r.histogram("h_seconds").observe(0.01);
+  r.reset();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.counter("c_total").value(), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 0.0);
+  EXPECT_EQ(r.histogram("h_seconds").snapshot().count, 0u);
+}
+
+TEST(RegistryTest, PrometheusExposition) {
+  Registry r;
+  r.counter("llmprism_events_total", "events seen").inc(7);
+  r.gauge("llmprism_lag_seconds", "feed lag").set(1.5);
+  Histogram& h = r.histogram("llmprism_latency_seconds", "latency",
+                             {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  std::ostringstream oss;
+  r.write_prometheus(oss);
+  const std::string text = oss.str();
+
+  EXPECT_NE(text.find("# HELP llmprism_events_total events seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE llmprism_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("llmprism_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE llmprism_lag_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("llmprism_lag_seconds 1.5"), std::string::npos);
+  // Cumulative bucket semantics: le="1" includes the le="0.1" bucket.
+  EXPECT_NE(text.find("llmprism_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("llmprism_latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("llmprism_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("llmprism_latency_seconds_count 3"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, JsonSnapshotIsValidJson) {
+  Registry r;
+  r.counter("c_total", "with \"quotes\" and \\ backslash").inc(2);
+  r.gauge("g").set(0.25);
+  r.histogram("h_seconds").observe(0.002);
+  std::ostringstream oss;
+  r.write_json(oss);
+  const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error() << "\n" << json;
+  EXPECT_NE(json.find("\"c_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":"), std::string::npos);
+}
+
+TEST(RegistryTest, DefaultRegistryIsPipelinePopulated) {
+  // The pipeline translation units register their metrics on first use;
+  // the default registry itself must at least be a stable singleton.
+  EXPECT_EQ(&default_registry(), &default_registry());
+}
+
+TEST(ScopedTimerTest, RecordsOneObservation) {
+  Histogram h({1e-6, 1.0, 100.0});
+  { const ScopedTimer timer(h); }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+class TraceSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().disable();
+    (void)TraceCollector::instance().drain();  // clear leftovers
+  }
+  void TearDown() override {
+    TraceCollector::instance().disable();
+    (void)TraceCollector::instance().drain();
+  }
+};
+
+TEST_F(TraceSpanTest, DisabledSpansRecordNothing) {
+  { const Span span("test.disabled"); }
+  EXPECT_TRUE(TraceCollector::instance().drain().empty());
+}
+
+TEST_F(TraceSpanTest, EnabledSpansAreCollected) {
+  TraceCollector::instance().enable();
+  {
+    const Span outer("test.outer");
+    const Span inner("test.inner", 42);
+  }
+  TraceCollector::instance().disable();
+  const auto spans = TraceCollector::instance().drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Both spans can begin in the same microsecond, so identify them by name
+  // rather than relying on sort order.
+  const SpanRecord* outer = nullptr;
+  const SpanRecord* inner = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == "test.outer") outer = &s;
+    if (std::string_view(s.name) == "test.inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->arg, SpanRecord::kNoArg);
+  EXPECT_EQ(inner->arg, 42u);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+  EXPECT_TRUE(TraceCollector::instance().drain().empty()) << "drain clears";
+}
+
+TEST_F(TraceSpanTest, SpansFromManyThreadsAllArrive) {
+  TraceCollector::instance().enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Span span("test.worker", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TraceCollector::instance().disable();
+  const auto spans = TraceCollector::instance().drain();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TraceSpanTest, ChromeTraceJsonIsValid) {
+  TraceCollector::instance().enable();
+  {
+    const Span a("test.analyze");
+    const Span b("test.job", 3);
+  }
+  TraceCollector::instance().disable();
+  std::ostringstream oss;
+  TraceCollector::instance().write_chrome_trace(oss);
+  const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error() << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":3}"), std::string::npos);
+}
+
+TEST_F(TraceSpanTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream oss;
+  TraceCollector::instance().write_chrome_trace(oss);
+  EXPECT_TRUE(testing::is_valid_json(oss.str()));
+}
+
+}  // namespace
+}  // namespace llmprism::obs

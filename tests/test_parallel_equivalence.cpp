@@ -218,6 +218,32 @@ void expect_alerts_equal(const std::vector<SwitchConcurrencyAlert>& a,
   }
 }
 
+// The telemetry block must be bit-identical too: it is built from
+// deterministic per-job event counts folded in job-id order, never from
+// scheduling-dependent state (ISSUE 2's acceptance criterion).
+void expect_telemetry_equal(const ReportTelemetry& a,
+                            const ReportTelemetry& b) {
+  EXPECT_EQ(a.flows_total, b.flows_total);
+  EXPECT_EQ(a.flows_routed, b.flows_routed);
+  EXPECT_EQ(a.flows_unattributed, b.flows_unattributed);
+  EXPECT_EQ(a.pairs_classified, b.pairs_classified);
+  EXPECT_EQ(a.pairs_dp, b.pairs_dp);
+  EXPECT_EQ(a.pairs_pp, b.pairs_pp);
+  EXPECT_EQ(a.refinement_flips, b.refinement_flips);
+  EXPECT_EQ(a.artifact_size_clusters, b.artifact_size_clusters);
+  EXPECT_EQ(a.artifact_flows, b.artifact_flows);
+  EXPECT_EQ(a.artifact_segments, b.artifact_segments);
+  EXPECT_EQ(a.bocd_observations, b.bocd_observations);
+  EXPECT_EQ(a.bocd_boundaries, b.bocd_boundaries);
+  EXPECT_EQ(a.bocd_hard_resets, b.bocd_hard_resets);
+  EXPECT_EQ(a.timelines_reconstructed, b.timelines_reconstructed);
+  EXPECT_EQ(a.timeline_events, b.timeline_events);
+  EXPECT_EQ(a.steps_reconstructed, b.steps_reconstructed);
+  EXPECT_EQ(a.ksigma_series, b.ksigma_series);
+  EXPECT_EQ(a.ksigma_points, b.ksigma_points);
+  EXPECT_EQ(a.ksigma_alerts, b.ksigma_alerts);
+}
+
 void expect_reports_equal(const PrismReport& a, const PrismReport& b) {
   EXPECT_EQ(a.recognition.num_cross_machine_clusters,
             b.recognition.num_cross_machine_clusters);
@@ -250,6 +276,7 @@ void expect_reports_equal(const PrismReport& a, const PrismReport& b) {
   expect_alerts_equal(a.switch_bandwidth_alerts, b.switch_bandwidth_alerts);
   expect_alerts_equal(a.switch_concurrency_alerts,
                       b.switch_concurrency_alerts);
+  expect_telemetry_equal(a.telemetry, b.telemetry);
 }
 
 // --- fixtures: each mix is simulated and sequentially analyzed once -------
@@ -314,6 +341,25 @@ TEST(ParallelEquivalenceCoverageTest, MixesProduceFindings) {
   EXPECT_FALSE(three_jobs().baseline.switch_bandwidth_alerts.empty());
 }
 
+// The telemetry comparison must not pass vacuously either: the mixes have
+// to exercise every counted stage.
+TEST(ParallelEquivalenceCoverageTest, TelemetryCountsAreNonTrivial) {
+  const ReportTelemetry& t = eight_jobs().baseline.telemetry;
+  EXPECT_GT(t.flows_total, 0u);
+  EXPECT_GT(t.flows_routed, 0u);
+  EXPECT_EQ(t.flows_total, t.flows_routed + t.flows_unattributed);
+  EXPECT_GT(t.pairs_classified, 0u);
+  EXPECT_EQ(t.pairs_classified, t.pairs_dp + t.pairs_pp);
+  EXPECT_GT(t.bocd_observations, 0u);
+  EXPECT_GT(t.bocd_boundaries, 0u);
+  EXPECT_GT(t.timelines_reconstructed, 0u);
+  EXPECT_GT(t.timeline_events, 0u);
+  EXPECT_GT(t.steps_reconstructed, 0u);
+  EXPECT_GT(t.ksigma_series, 0u);
+  EXPECT_GT(t.ksigma_points, 0u);
+  EXPECT_GT(t.ksigma_alerts, 0u) << "the mix injects detectable faults";
+}
+
 // OnlineMonitor: a batch completing several windows analyzes them
 // concurrently; ticks, stable ids, and stats must match the sequential
 // monitor exactly.
@@ -349,6 +395,7 @@ TEST_P(ParallelEquivalenceTest, MonitorBatchOfWindows) {
   EXPECT_EQ(sa.flows_ingested, sb.flows_ingested);
   EXPECT_EQ(sa.flows_dropped_late, sb.flows_dropped_late);
   EXPECT_EQ(sa.windows_completed, sb.windows_completed);
+  EXPECT_EQ(sa.stable_ids_created, sb.stable_ids_created);
   EXPECT_EQ(sa.step_alerts, sb.step_alerts);
   EXPECT_EQ(sa.group_alerts, sb.group_alerts);
   EXPECT_EQ(sa.switch_bandwidth_alerts, sb.switch_bandwidth_alerts);

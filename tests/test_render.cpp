@@ -5,6 +5,8 @@
 
 #include <sstream>
 
+#include "json_lint.hpp"
+
 namespace llmprism {
 namespace {
 
@@ -85,6 +87,22 @@ TEST(WriteTimelineJsonTest, OneLinePerEvent) {
             std::string::npos);
 }
 
+TEST(WriteTimelineJsonTest, EveryLineParsesAsJson) {
+  const auto t = sample_timeline();
+  const std::vector<GpuTimeline> ts{t};
+  std::ostringstream oss;
+  write_timeline_json(oss, std::span(ts));
+  std::istringstream lines(oss.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(testing::is_valid_json(line))
+        << testing::JsonLinter(line).error() << "\n" << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, t.events.size());
+}
+
 TEST(WriteReportJsonTest, SerializesJobsAndAlerts) {
   PrismReport report;
   report.recognition.num_cross_machine_clusters = 5;
@@ -116,20 +134,46 @@ TEST(WriteReportJsonTest, SerializesJobsAndAlerts) {
   EXPECT_NE(json.find("\"step\":7"), std::string::npos);
   EXPECT_NE(json.find("\"3\":150.5"), std::string::npos);
   EXPECT_NE(json.find("\"bandwidth_gbps\":42"), std::string::npos);
-  // Balanced braces/brackets (cheap well-formedness check).
-  long depth = 0;
-  for (const char c : json) {
-    if (c == '{' || c == '[') ++depth;
-    if (c == '}' || c == ']') --depth;
-    ASSERT_GE(depth, 0);
-  }
-  EXPECT_EQ(depth, 0);
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error() << "\n" << json;
 }
 
 TEST(WriteReportJsonTest, EmptyReport) {
   std::ostringstream oss;
   write_report_json(oss, PrismReport{});
   EXPECT_NE(oss.str().find("\"jobs\":[]"), std::string::npos);
+  EXPECT_TRUE(testing::is_valid_json(oss.str()));
+}
+
+TEST(WriteReportJsonTest, SerializesTelemetryBlock) {
+  PrismReport report;
+  report.telemetry.flows_total = 100;
+  report.telemetry.flows_routed = 90;
+  report.telemetry.flows_unattributed = 10;
+  report.telemetry.pairs_classified = 12;
+  report.telemetry.bocd_observations = 345;
+  report.telemetry.ksigma_alerts = 2;
+  std::ostringstream oss;
+  write_report_json(oss, report);
+  const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error();
+  EXPECT_NE(json.find("\"telemetry\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"flows_total\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"flows_routed\":90"), std::string::npos);
+  EXPECT_NE(json.find("\"flows_unattributed\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"pairs_classified\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"bocd_observations\":345"), std::string::npos);
+  EXPECT_NE(json.find("\"ksigma_alerts\":2"), std::string::npos);
+}
+
+TEST(RenderSummaryTest, IncludesTelemetryLine) {
+  PrismReport report;
+  report.telemetry.flows_total = 50;
+  report.telemetry.flows_routed = 50;
+  const std::string summary = render_report_summary(report);
+  EXPECT_NE(summary.find("telemetry: 50/50 flows routed"),
+            std::string::npos);
 }
 
 TEST(EventKindToStringTest, AllKindsNamed) {

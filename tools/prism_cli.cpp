@@ -12,14 +12,22 @@
 //     --json                emit the report as JSON instead of text
 //     --timelines           include per-rank timeline lanes in text output
 //     --no-reconstruct      skip timeline reconstruction (faster)
+//     --log-level LEVEL     debug|info|warn|error|off (default: warn)
+//     --metrics-out FILE    dump the metrics registry after analysis
+//                           (Prometheus text; .json suffix -> JSON snapshot)
+//     --trace-out FILE      record pipeline spans, write Chrome trace JSON
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "llmprism/common/log.hpp"
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/render.hpp"
 #include "llmprism/flow/io.hpp"
+#include "llmprism/obs/metrics.hpp"
+#include "llmprism/obs/trace_span.hpp"
 
 using namespace llmprism;
 
@@ -33,13 +41,22 @@ struct CliOptions {
   bool json = false;
   bool timelines = false;
   bool reconstruct = true;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 void usage() {
   std::cerr
       << "usage: prism <flows.csv> [--machines N] [--gpus-per-machine N]\n"
          "             [--machines-per-leaf N] [--spines N] [--window S]\n"
-         "             [--json] [--timelines] [--no-reconstruct]\n";
+         "             [--json] [--timelines] [--no-reconstruct]\n"
+         "             [--log-level debug|info|warn|error|off]\n"
+         "             [--metrics-out FILE] [--trace-out FILE]\n"
+         "  --metrics-out writes the self-telemetry registry after analysis\n"
+         "    (Prometheus text exposition; a .json suffix selects the JSON\n"
+         "    snapshot instead)\n"
+         "  --trace-out records pipeline trace spans during analysis and\n"
+         "    writes Chrome trace_event JSON (open in Perfetto)\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -83,6 +100,23 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.timelines = true;
     } else if (arg == "--no-reconstruct") {
       options.reconstruct = false;
+    } else if (arg == "--log-level") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      const auto level = log::parse_level(v);
+      if (!level) {
+        std::cerr << "prism: unknown log level " << v << '\n';
+        return std::nullopt;
+      }
+      log::set_level(*level);
+    } else if (arg == "--metrics-out") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.trace_out = v;
     } else if (arg == "--help" || arg == "-h") {
       return std::nullopt;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -141,7 +175,29 @@ int main(int argc, char** argv) {
     PrismConfig prism_config;
     prism_config.reconstruct_timelines = options->reconstruct;
     const Prism prism(topology, prism_config);
+    if (!options->trace_out.empty()) obs::TraceCollector::instance().enable();
     const PrismReport report = prism.analyze(trace);
+    if (!options->trace_out.empty()) {
+      obs::TraceCollector::instance().disable();
+      std::ofstream out(options->trace_out);
+      if (!out) {
+        std::cerr << "prism: cannot write " << options->trace_out << '\n';
+        return 1;
+      }
+      obs::TraceCollector::instance().write_chrome_trace(out);
+    }
+    if (!options->metrics_out.empty()) {
+      std::ofstream out(options->metrics_out);
+      if (!out) {
+        std::cerr << "prism: cannot write " << options->metrics_out << '\n';
+        return 1;
+      }
+      if (options->metrics_out.ends_with(".json")) {
+        obs::default_registry().write_json(out);
+      } else {
+        obs::default_registry().write_prometheus(out);
+      }
+    }
 
     if (options->json) {
       write_report_json(std::cout, report);
