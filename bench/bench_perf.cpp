@@ -4,11 +4,14 @@
 // google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "llmprism/bocd/bocd.hpp"
 #include "llmprism/common/disjoint_set.hpp"
 #include "llmprism/common/rng.hpp"
 #include "llmprism/core/comm_type.hpp"
 #include "llmprism/core/job_recognition.hpp"
+#include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/timeline.hpp"
 #include "llmprism/obs/metrics.hpp"
@@ -149,6 +152,55 @@ void BM_PrismAnalyze(benchmark::State& state) {
 // Wall-clock time is the metric: the sweep records the per-job fan-out's
 // speedup (items_per_second at 4 threads vs 1) in the bench trajectory.
 BENCHMARK(BM_PrismAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MonitorIngest(benchmark::State& state) {
+  // The streaming hot path: the multi-tenant feed delivered in 512-flow
+  // batches, windows closing as the watermark advances. Measures the
+  // whole ingest loop (batch sort + merge + window slicing + analysis).
+  const auto& sim = shared_multi_job_cluster();
+  const std::size_t kBatch = 512;
+  for (auto _ : state) {
+    MonitorConfig cfg;
+    cfg.window = 2 * kSecond;
+    cfg.prism.num_threads = 1;
+    OnlineMonitor monitor(sim.topology, cfg);
+    std::size_t ticks = 0;
+    for (std::size_t at = 0; at < sim.trace.size(); at += kBatch) {
+      FlowTrace batch;
+      batch.reserve(kBatch);
+      for (std::size_t i = at; i < std::min(at + kBatch, sim.trace.size());
+           ++i) {
+        batch.add(sim.trace[i]);
+      }
+      ticks += monitor.ingest(batch).size();
+    }
+    ticks += monitor.flush().has_value() ? 1 : 0;
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+  state.counters["flows"] = static_cast<double>(sim.trace.size());
+}
+BENCHMARK(BM_MonitorIngest);
+
+void BM_FlowMergeSorted(benchmark::State& state) {
+  // K sorted runs combined into one sorted trace — the cluster-wide DP
+  // merge shape. Arg = number of runs.
+  const auto& sim = shared_multi_job_cluster();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<FlowTrace> runs(k);
+  for (std::size_t i = 0; i < sim.trace.size(); ++i) {
+    runs[i % k].add(sim.trace[i]);
+  }
+  for (FlowTrace& run : runs) run.sort();
+  for (auto _ : state) {
+    std::vector<FlowTrace> copy = runs;
+    benchmark::DoNotOptimize(FlowTrace::merge_sorted_runs(std::move(copy)));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
+}
+BENCHMARK(BM_FlowMergeSorted)->Arg(2)->Arg(8);
 
 // --- self-telemetry overhead ----------------------------------------------
 // The pipeline is annotated unconditionally, so these pin the per-event

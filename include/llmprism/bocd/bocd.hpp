@@ -105,9 +105,16 @@ class BocdDetector {
   };
 
   [[nodiscard]] double log_predictive(const RunComponent& c, double x) const;
+  /// lgamma((nu+1)/2) - lgamma(nu/2) for the run-length-r posterior
+  /// (nu = 2*(prior_alpha + r/2)), extended lazily. The term depends only
+  /// on how many observations the run absorbed, and the two lgamma calls
+  /// dominate the per-component predictive cost.
+  [[nodiscard]] double lgamma_ratio(std::size_t run_length) const;
 
   BocdConfig config_;
   std::vector<RunComponent> components_;
+  mutable std::vector<double> lgamma_ratio_cache_;
+  std::vector<RunComponent> grown_scratch_;
   double last_cp_probability_ = 0.0;
   double last_recent_probability_ = 0.0;
   std::size_t t_ = 0;

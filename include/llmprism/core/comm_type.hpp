@@ -99,8 +99,19 @@ class CommTypeIdentifier {
   explicit CommTypeIdentifier(CommTypeConfig config = {});
 
   /// Classify every communication pair appearing in `job_trace` (the flows
-  /// of one recognized job, sorted by time).
+  /// of one recognized job, sorted by time). Builds the pair index itself.
   [[nodiscard]] CommTypeResult identify(const FlowTrace& job_trace) const;
+
+  /// Same, over a prebuilt CSR pair index for `job_trace` (built once per
+  /// job and shared with timeline reconstruction and DP-flow collection).
+  /// When `flow_types` is non-null it receives, per trace position, the
+  /// final (post-refinement) type of that flow's pair — the dense
+  /// replacement for probing an unordered_map per flow. On a sorted trace
+  /// no per-pair re-sorting happens: CSR positions are already
+  /// chronological.
+  [[nodiscard]] CommTypeResult identify(
+      const FlowTrace& job_trace, const PairIndex& index,
+      std::vector<CommType>* flow_types = nullptr) const;
 
   /// Count distinct flow sizes under the configured relative tolerance.
   /// Exposed for tests and the ablation bench.

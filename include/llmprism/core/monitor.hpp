@@ -33,6 +33,24 @@ struct MonitorConfig {
 /// A stable identity for a recognized job across windows.
 using MonitorJobId = std::uint64_t;
 
+/// Hash of a job's machine set, used to key stable-id lookups directly on
+/// the `RecognizedJob::machines` vector — no per-lookup string building.
+/// SplitMix64-style per-element mix; order-sensitive, matching the
+/// recognizer's canonical ascending machine order.
+struct MachineSetHash {
+  [[nodiscard]] std::size_t operator()(
+      const std::vector<MachineId>& machines) const noexcept {
+    std::uint64_t h = machines.size();
+    for (const MachineId m : machines) {
+      std::uint64_t z = h + m.value() + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 /// Result of analyzing one completed window.
 struct MonitorTick {
   TimeWindow window;
@@ -95,13 +113,17 @@ class OnlineMonitor {
   /// configuration is single-threaded.
   std::unique_ptr<ThreadPool> window_pool_;
 
+  /// Reorder buffer; invariant: always sorted (each ingest batch is
+  /// sorted once and merged in, so window slicing is pure binary search).
   FlowTrace buffer_;
   bool window_origin_set_ = false;
   TimeNs window_begin_ = 0;   ///< begin of the oldest un-analyzed window
   TimeNs watermark_ = 0;      ///< latest flow start seen
 
-  /// machine-set key -> stable id.
-  std::unordered_map<std::string, MonitorJobId> job_ids_;
+  /// machine set -> stable id; the vector is copied only when a new
+  /// identity is minted.
+  std::unordered_map<std::vector<MachineId>, MonitorJobId, MachineSetHash>
+      job_ids_;
   MonitorJobId next_job_id_ = 0;
   MonitorStats stats_;
 };

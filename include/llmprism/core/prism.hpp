@@ -64,6 +64,8 @@ struct ReportTelemetry {
   // ---- flow routing ----
   std::uint64_t flows_total = 0;         ///< flows in the analyzed window
   std::uint64_t flows_routed = 0;        ///< attributed to a recognized job
+  /// Of flows_routed: src was unattributed, recovered via the dst lookup.
+  std::uint64_t flows_routed_via_dst = 0;
   std::uint64_t flows_unattributed = 0;  ///< no recognized job claims them
 
   // ---- communication-type identification (Alg. 2) ----
@@ -117,6 +119,10 @@ class Prism {
   [[nodiscard]] std::size_t num_threads() const;
 
  private:
+  /// The pipeline body; `trace` is known-sorted (the public entry point
+  /// performs the one boundary sort when needed).
+  [[nodiscard]] PrismReport analyze_sorted(const FlowTrace& trace) const;
+
   const ClusterTopology& topology_;
   PrismConfig config_;
   /// Per-job fan-out pool; null in the single-threaded configuration.

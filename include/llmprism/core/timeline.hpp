@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,14 @@ class TimelineReconstructor {
   [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
       const FlowTrace& job_trace,
       const std::unordered_map<GpuPair, CommType>& types,
+      SegmenterStats* segmenter_stats = nullptr) const;
+
+  /// Same, but with the per-flow types precomputed (one CommType per trace
+  /// position, as produced by CommTypeIdentifier::identify over the shared
+  /// pair index) — no per-flow hash probe. `flow_types.size()` must equal
+  /// `job_trace.size()`.
+  [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
+      const FlowTrace& job_trace, std::span<const CommType> flow_types,
       SegmenterStats* segmenter_stats = nullptr) const;
 
  private:

@@ -46,11 +46,12 @@ double lgamma_positive(double x) {
 }
 
 /// log pdf of a Student-t with nu degrees of freedom, location mu and
-/// scale^2 = s2, evaluated at x.
-double log_student_t(double x, double nu, double mu, double s2) {
+/// scale^2 = s2, evaluated at x. `lgamma_term` is the precomputed
+/// lgamma((nu+1)/2) - lgamma(nu/2) for this nu.
+double log_student_t(double x, double nu, double mu, double s2,
+                     double lgamma_term) {
   const double d = x - mu;
-  return lgamma_positive((nu + 1.0) / 2.0) - lgamma_positive(nu / 2.0) -
-         0.5 * std::log(nu * M_PI * s2) -
+  return lgamma_term - 0.5 * std::log(nu * M_PI * s2) -
          (nu + 1.0) / 2.0 * std::log1p(d * d / (nu * s2));
 }
 
@@ -87,12 +88,27 @@ void BocdDetector::reset() {
   hard_resets_ = 0;
 }
 
+double BocdDetector::lgamma_ratio(std::size_t run_length) const {
+  // alpha = prior_alpha + run_length/2 exactly (0.5-additions are exact in
+  // binary floating point), so caching by run length is bit-identical to
+  // recomputing from the component's alpha.
+  while (lgamma_ratio_cache_.size() <= run_length) {
+    const double alpha =
+        config_.prior_alpha +
+        0.5 * static_cast<double>(lgamma_ratio_cache_.size());
+    const double nu = 2.0 * alpha;
+    lgamma_ratio_cache_.push_back(lgamma_positive((nu + 1.0) / 2.0) -
+                                  lgamma_positive(nu / 2.0));
+  }
+  return lgamma_ratio_cache_[run_length];
+}
+
 double BocdDetector::log_predictive(const RunComponent& c, double x) const {
   // Posterior predictive of the Normal-Inverse-Gamma model: Student-t with
   // nu = 2*alpha, location mean, scale^2 = beta*(kappa+1)/(alpha*kappa).
   const double nu = 2.0 * c.alpha;
   const double s2 = c.beta * (c.kappa + 1.0) / (c.alpha * c.kappa);
-  return log_student_t(x, nu, c.mean, s2);
+  return log_student_t(x, nu, c.mean, s2, lgamma_ratio(c.run_length));
 }
 
 double BocdDetector::observe(double x) {
@@ -109,8 +125,11 @@ double BocdDetector::observe(double x) {
   prior.beta = config_.prior_beta;
   const double cp_mass = std::exp(log_predictive(prior, x)) * hazard;
 
-  // Growth branch: each run hypothesis absorbs x.
-  std::vector<RunComponent> grown;
+  // Growth branch: each run hypothesis absorbs x. (Member scratch: one
+  // observation is one inner-loop iteration of the whole pipeline, so a
+  // per-call allocation here is measurable.)
+  std::vector<RunComponent>& grown = grown_scratch_;
+  grown.clear();
   grown.reserve(components_.size() + 1);
   for (const RunComponent& c : components_) {
     const double pred = std::exp(log_predictive(c, x));

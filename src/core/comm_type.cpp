@@ -1,6 +1,7 @@
 #include "llmprism/core/comm_type.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -99,13 +100,25 @@ std::size_t CommTypeIdentifier::count_distinct_sizes(
 }
 
 CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
+  return identify(job_trace, PairIndex(job_trace), nullptr);
+}
+
+CommTypeResult CommTypeIdentifier::identify(
+    const FlowTrace& job_trace, const PairIndex& pair_index,
+    std::vector<CommType>* flow_types) const {
   CommTypeResult result;
-  const auto pair_index = build_pair_index(job_trace);
+  // CSR positions preserve trace order, so on a sorted trace every pair's
+  // flows are already chronological and nothing below re-sorts.
+  const bool trace_sorted = job_trace.is_sorted();
 
   // ---- per-pair classification (Alg. 2 lines 2-12) ----
-  for (const auto& [pair, flow_idxs] : pair_index) {
+  // Pairs are visited in dense-id (first-appearance) order; result.pairs[id]
+  // corresponds to pair id `id` until the final deterministic re-sort.
+  for (std::size_t pair_id = 0; pair_id < pair_index.num_pairs(); ++pair_id) {
+    const std::span<const std::size_t> flow_idxs =
+        pair_index.positions(pair_id);
     PairClassification pc;
-    pc.pair = pair;
+    pc.pair = pair_index.pair(pair_id);
     pc.num_flows = flow_idxs.size();
 
     // (1)+(2) step division via BOCD over inter-flow intervals.
@@ -114,15 +127,21 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
     for (const std::size_t i : flow_idxs) {
       timestamps.push_back(job_trace[i].start_time);
     }
-    if (!std::is_sorted(timestamps.begin(), timestamps.end())) {
+    // Unsorted-input fallback: order this pair's flows by time so segments
+    // map back to sizes.
+    std::span<const std::size_t> ordered = flow_idxs;
+    std::vector<std::size_t> ordered_storage;
+    if (!trace_sorted &&
+        !std::is_sorted(timestamps.begin(), timestamps.end())) {
       std::sort(timestamps.begin(), timestamps.end());
+      ordered_storage.assign(flow_idxs.begin(), flow_idxs.end());
+      std::stable_sort(ordered_storage.begin(), ordered_storage.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return job_trace[a].start_time <
+                                job_trace[b].start_time;
+                       });
+      ordered = ordered_storage;
     }
-    // Sort flow indices by time too so segments map back to sizes.
-    std::vector<std::size_t> ordered = flow_idxs;
-    std::sort(ordered.begin(), ordered.end(),
-              [&](std::size_t a, std::size_t b) {
-                return job_trace[a].start_time < job_trace[b].start_time;
-              });
 
     const auto segment_starts = segment_by_gaps(timestamps, config_.segmenter,
                                                 &result.counters.segmenter);
@@ -251,6 +270,21 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
         p.type = CommType::kDP;
         ++result.counters.refinement_flips;
       }
+    }
+  }
+
+  // Per-flow types via dense pair-id lookup: result.pairs is still in
+  // pair-id order here (the deterministic re-sort below breaks that).
+  if (flow_types != nullptr) {
+    std::vector<CommType> type_of_pair(result.pairs.size());
+    for (std::size_t id = 0; id < result.pairs.size(); ++id) {
+      type_of_pair[id] = result.pairs[id].type;
+    }
+    const std::span<const std::uint32_t> pair_of_flow =
+        pair_index.pair_of_flow();
+    flow_types->resize(job_trace.size());
+    for (std::size_t i = 0; i < job_trace.size(); ++i) {
+      (*flow_types)[i] = type_of_pair[pair_of_flow[i]];
     }
   }
 

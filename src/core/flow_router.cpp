@@ -1,0 +1,48 @@
+#include "llmprism/core/flow_router.hpp"
+
+#include <algorithm>
+
+namespace llmprism {
+
+FlowRouter::FlowRouter(std::span<const RecognizedJob> jobs)
+    : num_jobs_(jobs.size()) {
+  std::uint32_t max_gpu = 0;
+  bool any = false;
+  for (const RecognizedJob& job : jobs) {
+    for (const GpuId g : job.gpus) {
+      max_gpu = std::max(max_gpu, g.value());
+      any = true;
+    }
+  }
+  if (!any) return;
+  job_of_gpu_.assign(static_cast<std::size_t>(max_gpu) + 1, kUnattributed);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const GpuId g : jobs[j].gpus) {
+      std::size_t& slot = job_of_gpu_[g.value()];
+      if (slot == kUnattributed) slot = j;
+    }
+  }
+}
+
+FlowRouter::Result FlowRouter::route(const FlowTrace& trace) const {
+  Result result;
+  result.job_traces.resize(num_jobs_);
+  for (const FlowRecord& f : trace) {
+    std::size_t j = job_of(f.src);
+    bool via_dst = false;
+    if (j == kUnattributed) {
+      j = job_of(f.dst);
+      via_dst = j != kUnattributed;
+    }
+    if (j == kUnattributed) {
+      ++result.flows_unattributed;
+      continue;
+    }
+    result.job_traces[j].add(f);
+    ++result.flows_routed;
+    if (via_dst) ++result.flows_routed_via_dst;
+  }
+  return result;
+}
+
+}  // namespace llmprism

@@ -1,9 +1,7 @@
 #include "llmprism/core/monitor.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
-#include <string>
 #include <utility>
 
 #include "llmprism/common/time.hpp"
@@ -71,20 +69,16 @@ OnlineMonitor::OnlineMonitor(const ClusterTopology& topology,
 MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
   // A job's identity is its machine set: tenants keep their machines for
   // the lifetime of a job, while GPU-level membership of *observed* flows
-  // fluctuates window to window.
-  std::string key;
-  key.reserve(job.machines.size() * 6);
-  for (const MachineId m : job.machines) {
-    key += std::to_string(m.value());
-    key += ',';
-  }
-  const auto [it, inserted] = job_ids_.emplace(std::move(key), next_job_id_);
-  if (inserted) {
-    ++next_job_id_;
-    ++stats_.stable_ids_created;
-    monitor_metrics().stable_ids.inc();
-  }
-  return it->second;
+  // fluctuates window to window. Lookups hash the machine vector in place
+  // (MachineSetHash) — no key is materialized; the vector is copied only
+  // when a new identity is minted.
+  const auto it = job_ids_.find(job.machines);
+  if (it != job_ids_.end()) return it->second;
+  const MonitorJobId id = next_job_id_++;
+  job_ids_.emplace(job.machines, id);
+  ++stats_.stable_ids_created;
+  monitor_metrics().stable_ids.inc();
+  return id;
 }
 
 void OnlineMonitor::finish_tick(MonitorTick& tick) {
@@ -122,6 +116,8 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   MonitorMetrics& metrics = monitor_metrics();
   std::size_t batch_ingested = 0;
   std::size_t batch_dropped = 0;
+  FlowTrace accepted;
+  accepted.reserve(batch.size());
   for (const FlowRecord& f : batch) {
     if (!window_origin_set_) {
       window_begin_ = f.start_time;
@@ -135,7 +131,7 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
       ++batch_dropped;
       continue;
     }
-    buffer_.add(f);
+    accepted.add(f);
     watermark_ = std::max(watermark_, f.start_time);
     ++stats_.flows_ingested;
     ++batch_ingested;
@@ -143,20 +139,25 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   metrics.flows_ingested.inc(batch_ingested);
   metrics.flows_dropped_late.inc(batch_dropped);
 
-  // Slice off every window whose end the watermark has safely passed.
+  // At most ONE physical sort per batch: order the accepted flows, then
+  // O(N) merge them into the always-sorted buffer (an in-order feed makes
+  // both the sort and the merge no-op/append fast paths).
+  accepted.sort();
+  buffer_.merge_sorted(std::move(accepted));
+
+  // Slice off every window whose end the watermark has safely passed, in
+  // one pass of binary searches over the sorted buffer; the consumed
+  // prefix is then dropped once, instead of copying the remainder per
+  // window.
   std::vector<std::pair<TimeWindow, FlowTrace>> closed;
   while (window_origin_set_ &&
          watermark_ - config_.reorder_slack >=
              window_begin_ + config_.window) {
     const TimeWindow window{window_begin_, window_begin_ + config_.window};
-    buffer_.sort();
-    FlowTrace in_window = buffer_.window(window);
-    FlowTrace rest = buffer_.window(
-        {window.end, std::numeric_limits<TimeNs>::max()});
-    buffer_ = std::move(rest);
+    closed.emplace_back(window, buffer_.window(window));
     window_begin_ = window.end;
-    closed.emplace_back(window, std::move(in_window));
   }
+  if (!closed.empty()) buffer_.drop_before(window_begin_);
 
   // Analyze the closed windows concurrently (the pure, per-window part),
   // then assign stable ids and stats sequentially in time order so both are
@@ -166,7 +167,7 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   parallel_for(window_pool_.get(), closed.size(), [&](std::size_t i) {
     const obs::Span window_span("monitor.window", i);
     ticks[i].window = closed[i].first;
-    closed[i].second.sort();
+    // window() slices are born sorted; analyze verifies via the cache.
     ticks[i].report = prism_.analyze(closed[i].second);
   });
   metrics.windows_in_flight.set(0.0);
@@ -182,7 +183,7 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
 
 std::optional<MonitorTick> OnlineMonitor::flush() {
   if (buffer_.empty()) return std::nullopt;
-  buffer_.sort();
+  // The buffer is kept sorted by ingest(); no sort needed here.
   const TimeWindow window{window_begin_, buffer_.span().end};
   FlowTrace flows = std::move(buffer_);
   buffer_ = FlowTrace{};

@@ -1,8 +1,11 @@
 #include "llmprism/core/prism.hpp"
 
-#include <unordered_map>
+#include <cassert>
+#include <utility>
+#include <vector>
 
 #include "llmprism/common/log.hpp"
+#include "llmprism/core/flow_router.hpp"
 #include "llmprism/common/thread_pool.hpp"
 #include "llmprism/obs/metrics.hpp"
 #include "llmprism/obs/trace_span.hpp"
@@ -16,6 +19,7 @@ struct PrismMetrics {
   obs::Counter& analyses;
   obs::Counter& jobs;
   obs::Counter& flows_routed;
+  obs::Counter& flows_routed_via_dst;
   obs::Counter& flows_unattributed;
   obs::Histogram& analyze_seconds;
 };
@@ -29,6 +33,9 @@ PrismMetrics& prism_metrics() {
       obs::default_registry().counter(
           "llmprism_flows_routed_total",
           "Flows attributed to a recognized job"),
+      obs::default_registry().counter(
+          "llmprism_flows_routed_via_dst_total",
+          "Routed flows whose unattributed src was recovered via dst"),
       obs::default_registry().counter(
           "llmprism_flows_unattributed_total",
           "Flows no recognized job claims"),
@@ -81,6 +88,7 @@ void fold_job_telemetry(ReportTelemetry& t, const JobAnalysis& analysis,
 ReportTelemetry& ReportTelemetry::operator+=(const ReportTelemetry& other) {
   flows_total += other.flows_total;
   flows_routed += other.flows_routed;
+  flows_routed_via_dst += other.flows_routed_via_dst;
   flows_unattributed += other.flows_unattributed;
   pairs_classified += other.pairs_classified;
   pairs_dp += other.pairs_dp;
@@ -115,6 +123,18 @@ std::size_t Prism::num_threads() const {
 }
 
 PrismReport Prism::analyze(const FlowTrace& trace) const {
+  // Sort-once boundary: everything downstream (routing, per-pair CSR
+  // positions, windowing, DP-run merging) relies on time order, so an
+  // unsorted input is sorted exactly once here — never again per job.
+  if (!trace.is_sorted()) {
+    FlowTrace sorted = trace;
+    sorted.sort();
+    return analyze_sorted(sorted);
+  }
+  return analyze_sorted(trace);
+}
+
+PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
   PrismReport report;
   PrismMetrics& metrics = prism_metrics();
   const obs::ScopedTimer analyze_timer(metrics.analyze_seconds);
@@ -130,28 +150,21 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
             " jobs from ", report.recognition.num_cross_machine_clusters,
             " cross-machine clusters");
 
-  // Route each flow to its job in one pass over the trace.
-  std::unordered_map<GpuId, std::size_t> job_of_gpu;
-  for (std::size_t j = 0; j < report.recognition.jobs.size(); ++j) {
-    for (const GpuId g : report.recognition.jobs[j].gpus) {
-      job_of_gpu.emplace(g, j);
-    }
-  }
+  // Route each flow to its job in one ordered pass over the trace: a
+  // dense interned GPU->job table (one load per flow, no hash probes),
+  // src lookup with dst fallback.
   const std::size_t num_jobs = report.recognition.jobs.size();
-  std::vector<FlowTrace> job_traces(num_jobs);
+  std::vector<FlowTrace> job_traces;
   {
     const obs::Span span("prism.route");
-    for (const FlowRecord& f : trace) {
-      const auto it = job_of_gpu.find(f.src);
-      if (it != job_of_gpu.end()) job_traces[it->second].add(f);
-    }
+    const FlowRouter router(report.recognition.jobs);
+    FlowRouter::Result routed = router.route(trace);
+    job_traces = std::move(routed.job_traces);
+    report.telemetry.flows_routed = routed.flows_routed;
+    report.telemetry.flows_routed_via_dst = routed.flows_routed_via_dst;
+    report.telemetry.flows_unattributed = routed.flows_unattributed;
   }
   report.telemetry.flows_total = trace.size();
-  for (const FlowTrace& jt : job_traces) {
-    report.telemetry.flows_routed += jt.size();
-  }
-  report.telemetry.flows_unattributed =
-      report.telemetry.flows_total - report.telemetry.flows_routed;
 
   const CommTypeIdentifier identifier(config_.comm_type);
   const TimelineReconstructor reconstructor(config_.timeline);
@@ -172,20 +185,27 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
     analysis.id = JobId(static_cast<std::uint32_t>(j));
     analysis.job = report.recognition.jobs[j];
     analysis.trace = std::move(job_traces[j]);
-    analysis.trace.sort();
+    // Routing preserved the sorted input's order, so this is O(1) on the
+    // cached flag — no per-job re-sort.
+    assert(analysis.trace.is_sorted() &&
+           "routing must preserve the sorted input's order");
 
-    // (2) parallelism strategies
+    // (2) parallelism strategies, over the job's CSR pair index; the
+    // per-flow types come back as a dense vector (one CommType per trace
+    // position) shared with DP collection and timeline reconstruction.
+    const PairIndex pair_index(analysis.trace);
+    std::vector<CommType> flow_types;
     {
       const obs::Span span("job.comm_type", j);
-      analysis.comm_types = identifier.identify(analysis.trace);
+      analysis.comm_types =
+          identifier.identify(analysis.trace, pair_index, &flow_types);
     }
-    const auto types = analysis.comm_types.types();
 
-    // Collect this job's DP flows for cluster-wide switch diagnosis.
-    for (const FlowRecord& f : analysis.trace) {
-      const auto it = types.find(f.pair());
-      if (it != types.end() && it->second == CommType::kDP) {
-        job_dp_flows[j].add(f);
+    // Collect this job's DP flows for cluster-wide switch diagnosis; the
+    // trace is sorted, so this run is born sorted too.
+    for (std::size_t i = 0; i < analysis.trace.size(); ++i) {
+      if (flow_types[i] == CommType::kDP) {
+        job_dp_flows[j].add(analysis.trace[i]);
       }
     }
 
@@ -194,7 +214,7 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
       {
         const obs::Span span("job.timeline", j);
         analysis.timelines = reconstructor.reconstruct_all(
-            analysis.trace, types, &timeline_stats[j]);
+            analysis.trace, flow_types, &timeline_stats[j]);
       }
       const obs::Span span("job.diagnosis", j);
       analysis.step_alerts =
@@ -214,19 +234,16 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
   });
   report.jobs = std::move(analyses);
 
-  // Deterministic merge: job-id order regardless of task completion order.
-  FlowTrace all_dp_flows;
-  std::size_t total_dp = 0;
-  for (const FlowTrace& dp : job_dp_flows) total_dp += dp.size();
-  all_dp_flows.reserve(total_dp);
-  for (const FlowTrace& dp : job_dp_flows) all_dp_flows.append(dp);
+  // Deterministic merge: a k-way merge of the per-job sorted DP runs,
+  // ties resolved to the lower job id — O(N log J) and zero re-sorting,
+  // independent of task completion order.
+  FlowTrace all_dp_flows = FlowTrace::merge_sorted_runs(std::move(job_dp_flows));
   for (std::size_t j = 0; j < num_jobs; ++j) {
     fold_job_telemetry(report.telemetry, report.jobs[j], timeline_stats[j],
                        ksigma_stats[j]);
   }
 
   // (4) cluster-wide switch-level diagnosis
-  all_dp_flows.sort();
   KSigmaStats switch_stats;
   {
     const obs::Span span("prism.switch_diagnosis");
@@ -244,6 +261,7 @@ PrismReport Prism::analyze(const FlowTrace& trace) const {
   metrics.analyses.inc();
   metrics.jobs.inc(num_jobs);
   metrics.flows_routed.inc(report.telemetry.flows_routed);
+  metrics.flows_routed_via_dst.inc(report.telemetry.flows_routed_via_dst);
   metrics.flows_unattributed.inc(report.telemetry.flows_unattributed);
   return report;
 }

@@ -25,6 +25,7 @@ char glyph(TimelineEventKind kind) {
 void write_telemetry_fields(std::ostream& os, const ReportTelemetry& t) {
   os << "\"flows_total\":" << t.flows_total
      << ",\"flows_routed\":" << t.flows_routed
+     << ",\"flows_routed_via_dst\":" << t.flows_routed_via_dst
      << ",\"flows_unattributed\":" << t.flows_unattributed
      << ",\"pairs_classified\":" << t.pairs_classified
      << ",\"pairs_dp\":" << t.pairs_dp << ",\"pairs_pp\":" << t.pairs_pp
@@ -241,7 +242,8 @@ std::string render_report_summary(const PrismReport& report) {
   }
   const ReportTelemetry& t = report.telemetry;
   oss << "  telemetry: " << t.flows_routed << '/' << t.flows_total
-      << " flows routed (" << t.flows_unattributed << " unattributed), "
+      << " flows routed (" << t.flows_routed_via_dst << " via dst, "
+      << t.flows_unattributed << " unattributed), "
       << t.pairs_classified << " pairs (" << t.pairs_dp << " DP/"
       << t.pairs_pp << " PP, " << t.refinement_flips << " flips, "
       << t.artifact_size_clusters << " artifact clusters), "

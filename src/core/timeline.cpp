@@ -7,11 +7,8 @@ namespace llmprism {
 
 namespace {
 
-/// Classify one flow from `gpu`'s perspective.
-TimelineEvent make_event(const FlowRecord& f, GpuId gpu,
-                         const std::unordered_map<GpuPair, CommType>& types) {
-  const auto it = types.find(f.pair());
-  const CommType type = it != types.end() ? it->second : CommType::kPP;
+/// Classify one flow from `gpu`'s perspective, its pair's type known.
+TimelineEvent make_event(const FlowRecord& f, GpuId gpu, CommType type) {
   TimelineEvent e;
   e.start = f.start_time;
   e.end = f.end_time();
@@ -23,6 +20,13 @@ TimelineEvent make_event(const FlowRecord& f, GpuId gpu,
                           : TimelineEventKind::kPpRecv;
   }
   return e;
+}
+
+/// Map-probing fallback for the unordered_map-typed entry points.
+CommType type_of(const FlowRecord& f,
+                 const std::unordered_map<GpuPair, CommType>& types) {
+  const auto it = types.find(f.pair());
+  return it != types.end() ? it->second : CommType::kPP;
 }
 
 /// Build the timeline of one GPU from its (chronological) comm events.
@@ -98,7 +102,7 @@ GpuTimeline TimelineReconstructor::reconstruct(
   std::vector<TimelineEvent> comm_events;
   for (const FlowRecord& f : job_trace) {
     if (f.src != gpu && f.dst != gpu) continue;
-    comm_events.push_back(make_event(f, gpu, types));
+    comm_events.push_back(make_event(f, gpu, type_of(f, types)));
   }
   return assemble(gpu, std::move(comm_events), config_);
 }
@@ -107,11 +111,23 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     const FlowTrace& job_trace,
     const std::unordered_map<GpuPair, CommType>& types,
     SegmenterStats* segmenter_stats) const {
+  std::vector<CommType> flow_types;
+  flow_types.reserve(job_trace.size());
+  for (const FlowRecord& f : job_trace) {
+    flow_types.push_back(type_of(f, types));
+  }
+  return reconstruct_all(job_trace, flow_types, segmenter_stats);
+}
+
+std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
+    const FlowTrace& job_trace, std::span<const CommType> flow_types,
+    SegmenterStats* segmenter_stats) const {
   // Single pass over the trace: bucket every flow under both endpoints.
   std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
-  for (const FlowRecord& f : job_trace) {
-    per_gpu[f.src].push_back(make_event(f, f.src, types));
-    per_gpu[f.dst].push_back(make_event(f, f.dst, types));
+  for (std::size_t i = 0; i < job_trace.size(); ++i) {
+    const FlowRecord& f = job_trace[i];
+    per_gpu[f.src].push_back(make_event(f, f.src, flow_types[i]));
+    per_gpu[f.dst].push_back(make_event(f, f.dst, flow_types[i]));
   }
   std::vector<GpuId> gpus;
   gpus.reserve(per_gpu.size());

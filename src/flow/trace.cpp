@@ -2,24 +2,142 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
 
-FlowTrace::FlowTrace(std::vector<FlowRecord> flows)
-    : flows_(std::move(flows)) {}
+namespace {
 
-void FlowTrace::add(FlowRecord flow) { flows_.push_back(std::move(flow)); }
+/// Process-wide count of *physical* sorts (no-op calls on already-sorted
+/// traces are free and not counted). Looked up once; the handle stays
+/// valid for the registry's lifetime.
+obs::Counter& sorts_counter() {
+  static obs::Counter& counter = obs::default_registry().counter(
+      "llmprism_flowtrace_sorts_total",
+      "Physical FlowTrace sorts performed (no-op sorts on already-sorted "
+      "traces are not counted)");
+  return counter;
+}
+
+}  // namespace
+
+FlowTrace::FlowTrace(std::vector<FlowRecord> flows)
+    : flows_(std::move(flows)),
+      sorted_(std::is_sorted(flows_.begin(), flows_.end(),
+                             FlowStartTimeLess{})) {}
+
+void FlowTrace::add(FlowRecord flow) {
+  if (sorted_ && !flows_.empty() &&
+      FlowStartTimeLess{}(flow, flows_.back())) {
+    sorted_ = false;
+  }
+  flows_.push_back(std::move(flow));
+}
 
 void FlowTrace::append(const FlowTrace& other) {
+  if (other.flows_.empty()) return;
+  if (sorted_ &&
+      !(other.sorted_ &&
+        (flows_.empty() ||
+         !FlowStartTimeLess{}(other.flows_.front(), flows_.back())))) {
+    sorted_ = false;
+  }
   flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
 }
 
 void FlowTrace::sort() {
+  // Touch the counter handle even on the no-op path so the metric is
+  // registered (and exported as 0) as soon as any trace enters the
+  // pipeline boundary.
+  obs::Counter& sorts = sorts_counter();
+  if (is_sorted()) return;
   std::sort(flows_.begin(), flows_.end(), FlowStartTimeLess{});
+  sorted_ = true;
+  sorts.inc();
 }
 
 bool FlowTrace::is_sorted() const {
-  return std::is_sorted(flows_.begin(), flows_.end(), FlowStartTimeLess{});
+  if (sorted_) return true;
+  if (std::is_sorted(flows_.begin(), flows_.end(), FlowStartTimeLess{})) {
+    sorted_ = true;
+  }
+  return sorted_;
+}
+
+void FlowTrace::merge_sorted(FlowTrace other) {
+  sort();
+  other.sort();
+  if (other.flows_.empty()) return;
+  if (flows_.empty()) {
+    flows_ = std::move(other.flows_);
+    return;
+  }
+  // Pure-append fast path: the incoming run starts at or after our back.
+  if (!FlowStartTimeLess{}(other.flows_.front(), flows_.back())) {
+    flows_.insert(flows_.end(),
+                  std::make_move_iterator(other.flows_.begin()),
+                  std::make_move_iterator(other.flows_.end()));
+    return;
+  }
+  std::vector<FlowRecord> merged;
+  merged.reserve(flows_.size() + other.flows_.size());
+  // std::merge keeps first-range elements before second-range on ties.
+  std::merge(std::make_move_iterator(flows_.begin()),
+             std::make_move_iterator(flows_.end()),
+             std::make_move_iterator(other.flows_.begin()),
+             std::make_move_iterator(other.flows_.end()),
+             std::back_inserter(merged), FlowStartTimeLess{});
+  flows_ = std::move(merged);
+}
+
+FlowTrace FlowTrace::merge_sorted_runs(std::vector<FlowTrace> runs) {
+  std::size_t total = 0;
+  for (FlowTrace& run : runs) {
+    run.sort();
+    total += run.size();
+  }
+  std::vector<FlowRecord> merged;
+  merged.reserve(total);
+
+  // Min-heap of run indices keyed by each run's next record; ties go to
+  // the lower run index, so the merge is stable in the runs' order.
+  std::vector<std::size_t> heads(runs.size(), 0);
+  std::vector<std::size_t> heap;
+  heap.reserve(runs.size());
+  const auto later = [&](std::size_t a, std::size_t b) {
+    const FlowRecord& fa = runs[a][heads[a]];
+    const FlowRecord& fb = runs[b][heads[b]];
+    if (FlowStartTimeLess{}(fa, fb)) return false;
+    if (FlowStartTimeLess{}(fb, fa)) return true;
+    return a > b;
+  };
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back(r);
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const std::size_t r = heap.back();
+    heap.pop_back();
+    merged.push_back(runs[r][heads[r]]);
+    if (++heads[r] < runs[r].size()) {
+      heap.push_back(r);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  return FlowTrace(std::move(merged), SortedTag{});
+}
+
+void FlowTrace::drop_before(TimeNs t) {
+  if (!is_sorted()) {
+    throw std::logic_error("FlowTrace::drop_before requires a sorted trace");
+  }
+  const auto lo = std::lower_bound(
+      flows_.begin(), flows_.end(), t,
+      [](const FlowRecord& f, TimeNs at) { return f.start_time < at; });
+  flows_.erase(flows_.begin(), lo);
 }
 
 FlowTrace FlowTrace::window(TimeWindow w) const {
@@ -32,7 +150,7 @@ FlowTrace FlowTrace::window(TimeWindow w) const {
   const auto hi = std::lower_bound(
       lo, flows_.end(), w.end,
       [](const FlowRecord& f, TimeNs t) { return f.start_time < t; });
-  return FlowTrace(std::vector<FlowRecord>(lo, hi));
+  return FlowTrace(std::vector<FlowRecord>(lo, hi), SortedTag{});
 }
 
 TimeWindow FlowTrace::span() const {
@@ -46,13 +164,29 @@ TimeWindow FlowTrace::span() const {
   return {lo, hi};
 }
 
-std::unordered_map<GpuPair, std::vector<std::size_t>> build_pair_index(
-    const FlowTrace& trace) {
-  std::unordered_map<GpuPair, std::vector<std::size_t>> index;
+PairIndex::PairIndex(const FlowTrace& trace) {
+  pair_of_flow_.resize(trace.size());
+  std::vector<std::size_t> counts;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    index[trace[i].pair()].push_back(i);
+    const GpuPair p = trace[i].pair();
+    auto [it, inserted] =
+        id_of_.emplace(p, static_cast<std::uint32_t>(pairs_.size()));
+    if (inserted) {
+      pairs_.push_back(p);
+      counts.push_back(0);
+    }
+    pair_of_flow_[i] = it->second;
+    ++counts[it->second];
   }
-  return index;
+  offsets_.assign(pairs_.size() + 1, 0);
+  for (std::size_t id = 0; id < pairs_.size(); ++id) {
+    offsets_[id + 1] = offsets_[id] + counts[id];
+  }
+  positions_.resize(trace.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    positions_[cursor[pair_of_flow_[i]]++] = i;
+  }
 }
 
 std::unordered_map<SwitchId, std::vector<std::size_t>> build_switch_index(

@@ -1,7 +1,6 @@
 #include "llmprism/simulator/noise.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 namespace llmprism {
@@ -30,10 +29,11 @@ FlowTrace apply_noise(const FlowTrace& trace, const NoiseConfig& config,
   // truncation probability keep only flows sharing the burst head's size.
   std::vector<bool> keep(trace.size(), true);
   if (config.degraded_pair_fraction > 0.0) {
-    const auto pair_index = build_pair_index(trace);
-    std::unordered_map<GpuPair, PairDegradation> degradation;
-    degradation.reserve(pair_index.size());
-    for (const auto& [pair, flow_idxs] : pair_index) {
+    // Pairs are visited in first-appearance order (dense CSR ids), so the
+    // noise realization is deterministic in the trace's content alone.
+    const PairIndex pair_index(trace);
+    for (std::size_t id = 0; id < pair_index.num_pairs(); ++id) {
+      const auto flow_idxs = pair_index.positions(id);
       PairDegradation d;
       d.degraded = rng.bernoulli(config.degraded_pair_fraction);
       if (d.degraded) {

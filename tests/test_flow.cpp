@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "llmprism/common/csv.hpp"
+#include "llmprism/common/rng.hpp"
 #include "llmprism/flow/io.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
 namespace {
@@ -103,15 +106,227 @@ TEST(FlowTraceTest, AppendConcatenates) {
   EXPECT_EQ(a.size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Sortedness cache + merge primitives (the sort-once data plane)
+
+TEST(FlowTraceSortednessTest, InOrderAddsKeepTraceSorted) {
+  FlowTrace t;
+  EXPECT_TRUE(t.is_sorted());  // empty is sorted
+  t.add(make_flow(10, 1, 2));
+  t.add(make_flow(10, 1, 2));  // equal keys are fine
+  t.add(make_flow(20, 1, 2));
+  EXPECT_TRUE(t.is_sorted());
+}
+
+TEST(FlowTraceSortednessTest, OutOfOrderAddInvalidatesUntilSort) {
+  FlowTrace t;
+  t.add(make_flow(20, 1, 2));
+  t.add(make_flow(10, 1, 2));
+  EXPECT_FALSE(t.is_sorted());
+  t.sort();
+  EXPECT_TRUE(t.is_sorted());
+  t.add(make_flow(30, 1, 2));  // in-order add after sort stays sorted
+  EXPECT_TRUE(t.is_sorted());
+}
+
+TEST(FlowTraceSortednessTest, AppendTracksBoundaryOrder) {
+  FlowTrace a, b;
+  a.add(make_flow(1, 1, 2));
+  a.add(make_flow(2, 1, 2));
+  b.add(make_flow(3, 3, 4));
+  a.append(b);  // ordered boundary: stays known-sorted
+  EXPECT_TRUE(a.is_sorted());
+
+  FlowTrace c;
+  c.add(make_flow(0, 5, 6));
+  a.append(c);  // boundary goes backwards
+  EXPECT_FALSE(a.is_sorted());
+
+  FlowTrace d, unsorted;
+  d.add(make_flow(1, 1, 2));
+  unsorted.add(make_flow(9, 1, 2));
+  unsorted.add(make_flow(5, 1, 2));
+  d.append(unsorted);  // appending an unsorted trace invalidates
+  EXPECT_FALSE(d.is_sorted());
+}
+
+TEST(FlowTraceSortednessTest, VerifyCachesAPositiveScan) {
+  // A trace built out of order but whose content happens to be sorted is
+  // recognized by the O(N) verify (and window() then works).
+  std::vector<FlowRecord> flows{make_flow(1, 1, 2), make_flow(2, 1, 2)};
+  const FlowTrace t(std::move(flows));
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t.window({0, 10}).size(), 2u);
+}
+
+TEST(FlowTraceSortednessTest, WindowResultIsBornSorted) {
+  FlowTrace t;
+  for (TimeNs i = 0; i < 10; ++i) t.add(make_flow(i * 100, 1, 2));
+  const FlowTrace w = t.window({200, 700});
+  EXPECT_TRUE(w.is_sorted());
+}
+
+TEST(FlowTraceSortednessTest, PhysicalSortsAreCounted) {
+  obs::Counter& sorts = obs::default_registry().counter(
+      "llmprism_flowtrace_sorts_total");
+  FlowTrace t;
+  t.add(make_flow(10, 1, 2));
+  t.add(make_flow(20, 1, 2));
+  const std::uint64_t before = sorts.value();
+  t.sort();  // already sorted: no physical sort
+  EXPECT_EQ(sorts.value(), before);
+  t.add(make_flow(5, 1, 2));
+  t.sort();  // genuinely unsorted: exactly one physical sort
+  EXPECT_EQ(sorts.value(), before + 1);
+  t.sort();
+  EXPECT_EQ(sorts.value(), before + 1);
+}
+
+TEST(FlowTraceMergeTest, MergeSortedMatchesAppendPlusSort) {
+  // Randomized property test: for random sorted runs, merge_sorted is
+  // record-for-record equal to append + sort.
+  Rng rng(321);
+  for (int round = 0; round < 50; ++round) {
+    FlowTrace a, b;
+    const int na = rng.uniform_int(0, 40);
+    const int nb = rng.uniform_int(0, 40);
+    for (int i = 0; i < na; ++i) {
+      a.add(make_flow(static_cast<TimeNs>(rng.uniform_int(0, 1000)),
+                      static_cast<std::uint32_t>(rng.uniform_int(0, 7)),
+                      static_cast<std::uint32_t>(rng.uniform_int(8, 15)),
+                      static_cast<std::uint64_t>(rng.uniform_int(1, 5))));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.add(make_flow(static_cast<TimeNs>(rng.uniform_int(0, 1000)),
+                      static_cast<std::uint32_t>(rng.uniform_int(0, 7)),
+                      static_cast<std::uint32_t>(rng.uniform_int(8, 15)),
+                      static_cast<std::uint64_t>(rng.uniform_int(1, 5))));
+    }
+    a.sort();
+    b.sort();
+
+    FlowTrace expected = a;
+    expected.append(b);
+    expected.sort();
+
+    FlowTrace merged = a;
+    merged.merge_sorted(b);
+    EXPECT_TRUE(merged.is_sorted());
+    ASSERT_EQ(merged.size(), expected.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i], expected[i]) << "round " << round << " pos " << i;
+    }
+  }
+}
+
+TEST(FlowTraceMergeTest, MergeSortedRunsMatchesAppendPlusSort) {
+  Rng rng(654);
+  for (int round = 0; round < 25; ++round) {
+    const int k = rng.uniform_int(0, 6);
+    std::vector<FlowTrace> runs(static_cast<std::size_t>(k));
+    FlowTrace expected;
+    for (FlowTrace& run : runs) {
+      const int n = rng.uniform_int(0, 30);
+      for (int i = 0; i < n; ++i) {
+        run.add(make_flow(static_cast<TimeNs>(rng.uniform_int(0, 500)),
+                          static_cast<std::uint32_t>(rng.uniform_int(0, 3)),
+                          static_cast<std::uint32_t>(rng.uniform_int(4, 7))));
+      }
+      run.sort();
+      expected.append(run);
+    }
+    expected.sort();
+
+    const FlowTrace merged = FlowTrace::merge_sorted_runs(std::move(runs));
+    EXPECT_TRUE(merged.is_sorted());
+    ASSERT_EQ(merged.size(), expected.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i], expected[i]) << "round " << round << " pos " << i;
+    }
+  }
+}
+
+TEST(FlowTraceMergeTest, MergeSortedRunsBreaksTiesByRunIndex) {
+  // Two runs carrying records with identical sort keys but different
+  // durations: the lower run's record must come out first.
+  FlowTrace run0, run1;
+  run0.add(make_flow(100, 1, 2, 1000, 11));
+  run1.add(make_flow(100, 1, 2, 1000, 22));
+  const FlowTrace merged = FlowTrace::merge_sorted_runs({run0, run1});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].duration, 11);
+  EXPECT_EQ(merged[1].duration, 22);
+}
+
+TEST(FlowTraceMergeTest, MergeIntoEmptyAndFromEmpty) {
+  FlowTrace a;
+  FlowTrace b;
+  b.add(make_flow(1, 1, 2));
+  a.merge_sorted(b);  // into empty
+  EXPECT_EQ(a.size(), 1u);
+  a.merge_sorted(FlowTrace{});  // from empty
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_TRUE(FlowTrace::merge_sorted_runs({}).empty());
+}
+
+TEST(FlowTraceDropBeforeTest, ErasesStrictPrefix) {
+  FlowTrace t;
+  for (TimeNs i = 0; i < 10; ++i) t.add(make_flow(i * 100, 1, 2));
+  t.drop_before(500);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].start_time, 500);
+  t.drop_before(0);  // no-op
+  EXPECT_EQ(t.size(), 5u);
+  t.drop_before(10000);  // drops everything
+  EXPECT_TRUE(t.empty());
+
+  FlowTrace unsorted;
+  unsorted.add(make_flow(20, 1, 2));
+  unsorted.add(make_flow(10, 1, 2));
+  EXPECT_THROW(unsorted.drop_before(15), std::logic_error);
+}
+
 TEST(FlowTraceIndexTest, PairIndexGroupsBothDirections) {
   FlowTrace t;
   t.add(make_flow(1, 1, 2));
   t.add(make_flow(2, 2, 1));  // reverse direction, same pair
   t.add(make_flow(3, 1, 3));
-  const auto idx = build_pair_index(t);
-  EXPECT_EQ(idx.size(), 2u);
-  EXPECT_EQ(idx.at(GpuPair(GpuId(1), GpuId(2))).size(), 2u);
-  EXPECT_EQ(idx.at(GpuPair(GpuId(1), GpuId(3))).size(), 1u);
+  const PairIndex idx(t);
+  ASSERT_EQ(idx.num_pairs(), 2u);
+  EXPECT_EQ(idx.num_flows(), 3u);
+  const std::uint32_t p12 = idx.id_of(GpuPair(GpuId(1), GpuId(2)));
+  const std::uint32_t p13 = idx.id_of(GpuPair(GpuId(1), GpuId(3)));
+  ASSERT_NE(p12, PairIndex::kNoPair);
+  ASSERT_NE(p13, PairIndex::kNoPair);
+  EXPECT_EQ(idx.positions(p12).size(), 2u);
+  EXPECT_EQ(idx.positions(p13).size(), 1u);
+  EXPECT_EQ(idx.id_of(GpuPair(GpuId(7), GpuId(8))), PairIndex::kNoPair);
+}
+
+TEST(FlowTraceIndexTest, PairIndexFirstAppearanceOrderAndPositions) {
+  FlowTrace t;
+  t.add(make_flow(1, 1, 2));
+  t.add(make_flow(2, 3, 4));
+  t.add(make_flow(3, 2, 1));
+  t.add(make_flow(4, 1, 2));
+  const PairIndex idx(t);
+  ASSERT_EQ(idx.num_pairs(), 2u);
+  // Dense ids follow first appearance in the trace.
+  EXPECT_EQ(idx.pair(0), GpuPair(GpuId(1), GpuId(2)));
+  EXPECT_EQ(idx.pair(1), GpuPair(GpuId(3), GpuId(4)));
+  // Positions stay in trace order within each pair.
+  const auto pos0 = idx.positions(0);
+  ASSERT_EQ(pos0.size(), 3u);
+  EXPECT_EQ(pos0[0], 0u);
+  EXPECT_EQ(pos0[1], 2u);
+  EXPECT_EQ(pos0[2], 3u);
+  // pair_of_flow inverts the index.
+  const auto pof = idx.pair_of_flow();
+  ASSERT_EQ(pof.size(), 4u);
+  EXPECT_EQ(pof[0], 0u);
+  EXPECT_EQ(pof[1], 1u);
+  EXPECT_EQ(pof[2], 0u);
+  EXPECT_EQ(pof[3], 0u);
 }
 
 TEST(FlowTraceIndexTest, SwitchIndexCountsEveryHop) {

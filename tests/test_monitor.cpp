@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "llmprism/common/rng.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
 
 namespace llmprism {
@@ -106,6 +111,87 @@ TEST(OnlineMonitorTest, IncrementalBatchesMatchOneShot) {
     EXPECT_EQ(got[i].window.begin, expected[i].window.begin);
     EXPECT_EQ(got[i].report.jobs.size(), expected[i].report.jobs.size());
   }
+}
+
+// Deep tick comparison for the differential feeds below: the merge-based
+// ingest path must produce byte-identical windows no matter how the flows
+// were batched or reordered on the way in.
+void expect_ticks_equal(const std::vector<MonitorTick>& got,
+                        const std::vector<MonitorTick>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].window.begin, expected[i].window.begin);
+    EXPECT_EQ(got[i].window.end, expected[i].window.end);
+    EXPECT_EQ(got[i].job_ids, expected[i].job_ids);
+    const PrismReport& a = got[i].report;
+    const PrismReport& b = expected[i].report;
+    EXPECT_EQ(a.telemetry.flows_total, b.telemetry.flows_total);
+    EXPECT_EQ(a.telemetry.flows_routed, b.telemetry.flows_routed);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      ASSERT_EQ(a.jobs[j].trace.size(), b.jobs[j].trace.size());
+      for (std::size_t f = 0; f < a.jobs[j].trace.size(); ++f) {
+        EXPECT_EQ(a.jobs[j].trace[f], b.jobs[j].trace[f])
+            << "tick " << i << " job " << j << " flow " << f;
+      }
+    }
+  }
+}
+
+TEST(OnlineMonitorTest, OutOfOrderBatchesWithLateDropsMatchOneShot) {
+  const auto sim = simulate(12);
+  MonitorConfig cfg;
+  cfg.window = 2 * kSecond;
+  cfg.reorder_slack = 100 * kMillisecond;
+  cfg.prism.reconstruct_timelines = false;
+
+  // Baseline: the whole (sorted) trace in one batch, then flush.
+  OnlineMonitor one_shot(sim.topology, cfg);
+  auto expected = one_shot.ingest(sim.trace);
+  if (auto last = one_shot.flush()) expected.push_back(std::move(*last));
+
+  // Same flows as many batches, each internally shuffled (out of order
+  // within the batch), with a far-too-late flow replayed between batches —
+  // those must be dropped without perturbing any window.
+  Rng rng(777);
+  OnlineMonitor incremental(sim.topology, cfg);
+  std::vector<MonitorTick> got;
+  const std::size_t chunk = sim.trace.size() / 9 + 1;
+  std::size_t late_replays = 0;
+  for (std::size_t at = 0; at < sim.trace.size(); at += chunk) {
+    std::vector<FlowRecord> shuffled;
+    for (std::size_t i = at; i < std::min(at + chunk, sim.trace.size());
+         ++i) {
+      shuffled.push_back(sim.trace[i]);
+    }
+    // The window origin is the first-ARRIVED flow's start time, so the
+    // very first flow must stay first; everything after it is fair game.
+    const std::size_t shuffle_from = at == 0 ? 1 : 0;
+    for (std::size_t i = shuffled.size(); i > shuffle_from + 1; --i) {
+      const auto j = shuffle_from + static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(i - shuffle_from) - 1));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    FlowTrace batch;
+    for (FlowRecord& f : shuffled) batch.add(std::move(f));
+    for (auto& t : incremental.ingest(batch)) got.push_back(std::move(t));
+
+    // Once windows have closed, replay the very first flow: it starts
+    // before the current window begin, so it must be dropped late.
+    if (!got.empty()) {
+      FlowTrace late;
+      late.add(sim.trace[0]);
+      const auto ticks = incremental.ingest(late);
+      EXPECT_TRUE(ticks.empty());
+      ++late_replays;
+    }
+  }
+  if (auto last = incremental.flush()) got.push_back(std::move(*last));
+
+  ASSERT_GT(late_replays, 0u);
+  EXPECT_EQ(incremental.stats().flows_dropped_late, late_replays);
+  EXPECT_EQ(incremental.stats().flows_ingested, sim.trace.size());
+  expect_ticks_equal(got, expected);
 }
 
 TEST(OnlineMonitorTest, FlushOnEmptyIsNullopt) {

@@ -225,6 +225,7 @@ void expect_telemetry_equal(const ReportTelemetry& a,
                             const ReportTelemetry& b) {
   EXPECT_EQ(a.flows_total, b.flows_total);
   EXPECT_EQ(a.flows_routed, b.flows_routed);
+  EXPECT_EQ(a.flows_routed_via_dst, b.flows_routed_via_dst);
   EXPECT_EQ(a.flows_unattributed, b.flows_unattributed);
   EXPECT_EQ(a.pairs_classified, b.pairs_classified);
   EXPECT_EQ(a.pairs_dp, b.pairs_dp);
@@ -348,6 +349,11 @@ TEST(ParallelEquivalenceCoverageTest, TelemetryCountsAreNonTrivial) {
   EXPECT_GT(t.flows_total, 0u);
   EXPECT_GT(t.flows_routed, 0u);
   EXPECT_EQ(t.flows_total, t.flows_routed + t.flows_unattributed);
+  // The internal recognizer unions both endpoints of every flow, so the
+  // dst fallback never has to fire on recognizer-produced jobs; it exists
+  // for half-recognized jobs (see tests/test_flow_router.cpp).
+  EXPECT_EQ(t.flows_routed_via_dst, 0u);
+  EXPECT_LE(t.flows_routed_via_dst, t.flows_routed);
   EXPECT_GT(t.pairs_classified, 0u);
   EXPECT_EQ(t.pairs_classified, t.pairs_dp + t.pairs_pp);
   EXPECT_GT(t.bocd_observations, 0u);
