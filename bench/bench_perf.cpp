@@ -153,7 +153,7 @@ void BM_PrismAnalyze(benchmark::State& state) {
 // speedup (items_per_second at 4 threads vs 1) in the bench trajectory.
 BENCHMARK(BM_PrismAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-void BM_MonitorIngest(benchmark::State& state) {
+void run_monitor_ingest(benchmark::State& state, bool carry_state) {
   // The streaming hot path: the multi-tenant feed delivered in 512-flow
   // batches, windows closing as the watermark advances. Measures the
   // whole ingest loop (batch sort + merge + window slicing + analysis).
@@ -161,8 +161,12 @@ void BM_MonitorIngest(benchmark::State& state) {
   const std::size_t kBatch = 512;
   for (auto _ : state) {
     MonitorConfig cfg;
-    cfg.window = 2 * kSecond;
+    // ~6 windows over the feed: enough steady-state windows for the
+    // session's caches to matter in the warm variant.
+    cfg.window = 500 * kMillisecond;
+    cfg.reorder_slack = 100 * kMillisecond;
     cfg.prism.num_threads = 1;
+    cfg.carry_state = carry_state;
     OnlineMonitor monitor(sim.topology, cfg);
     std::size_t ticks = 0;
     for (std::size_t at = 0; at < sim.trace.size(); at += kBatch) {
@@ -181,7 +185,19 @@ void BM_MonitorIngest(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
   state.counters["flows"] = static_cast<double>(sim.trace.size());
 }
+
+void BM_MonitorIngest(benchmark::State& state) {
+  run_monitor_ingest(state, /*carry_state=*/false);
+}
 BENCHMARK(BM_MonitorIngest);
+
+// Same feed with the session engine on: steady windows hit the recognition
+// fast path and the comm-type priors, so warm must come in measurably
+// below the stateless BM_MonitorIngest.
+void BM_MonitorIngestWarm(benchmark::State& state) {
+  run_monitor_ingest(state, /*carry_state=*/true);
+}
+BENCHMARK(BM_MonitorIngestWarm);
 
 void BM_FlowMergeSorted(benchmark::State& state) {
   // K sorted runs combined into one sorted trace — the cluster-wide DP

@@ -7,8 +7,7 @@
 #include <iostream>
 #include <set>
 
-#include "llmprism/core/prism.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 

@@ -8,9 +8,7 @@
 // same schema a production collector would deliver).
 #include <iostream>
 
-#include "llmprism/core/prism.hpp"
-#include "llmprism/flow/io.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 

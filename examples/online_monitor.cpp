@@ -6,8 +6,7 @@
 // Run:  ./examples/online_monitor
 #include <iostream>
 
-#include "llmprism/core/monitor.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 

@@ -8,9 +8,7 @@
 // Run:  ./examples/quickstart
 #include <iostream>
 
-#include "llmprism/core/prism.hpp"
-#include "llmprism/core/render.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 

@@ -6,10 +6,7 @@
 //       ./examples/timeline_viewer flows.csv json   (JSON events to stdout)
 #include <iostream>
 
-#include "llmprism/core/prism.hpp"
-#include "llmprism/core/render.hpp"
-#include "llmprism/flow/io.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 

@@ -83,6 +83,23 @@ struct CommTypeCounters {
   }
 };
 
+/// Cross-window warm priors for one job's pair classifications, carried by
+/// PrismSession. identify() consults the previous window's pre-refinement
+/// type per pair and re-runs the full BOCD step division only for pairs
+/// that are new or whose whole-window distinct-size count contradicts the
+/// prior (PP pairs must show exactly one distinct size; DP pairs several).
+/// The DP-transitivity refinement always re-runs, so the final types and
+/// dp_components of a consistent window are field-for-field what the cold
+/// path would produce; only the work telemetry (BOCD counts,
+/// num_steps_observed of reused pairs) shrinks.
+struct CommTypeCarry {
+  /// pair -> pre-refinement type from the last full classification.
+  std::unordered_map<GpuPair, CommType> pre_types;
+  /// Per-call outcome (reset by each warm identify() call).
+  std::uint64_t pairs_reused = 0;
+  std::uint64_t pairs_reclassified = 0;
+};
+
 struct CommTypeResult {
   std::vector<PairClassification> pairs;
   /// Connected components of the DP graph — the recovered DP groups
@@ -109,9 +126,15 @@ class CommTypeIdentifier {
   /// replacement for probing an unordered_map per flow. On a sorted trace
   /// no per-pair re-sorting happens: CSR positions are already
   /// chronological.
+  ///
+  /// When `carry` is non-null, the previous window's classifications serve
+  /// as warm priors (see CommTypeCarry); the carry is updated in place with
+  /// this window's pre-refinement types. Null carry is the cold path,
+  /// bit-identical to before the session layer existed.
   [[nodiscard]] CommTypeResult identify(
       const FlowTrace& job_trace, const PairIndex& index,
-      std::vector<CommType>* flow_types = nullptr) const;
+      std::vector<CommType>* flow_types = nullptr,
+      CommTypeCarry* carry = nullptr) const;
 
   /// Count distinct flow sizes under the configured relative tolerance.
   /// Exposed for tests and the ablation bench.

@@ -17,6 +17,7 @@
 // mean-absolute-deviation variant, selectable via Dispersion.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -130,6 +131,40 @@ struct DiagnosisConfig {
   double switch_health_percentile = 90.0;
 };
 
+/// Exponentially weighted running baseline of one scalar series (a GPU's
+/// step durations), carried across analysis windows by PrismSession. The
+/// variance uses the standard EWMA recurrence (var absorbs diff * incr), so
+/// one struct needs no history yet tracks slow drift.
+struct EwmaBaseline {
+  double mean = 0.0;
+  double var = 0.0;
+  std::uint64_t count = 0;  ///< observations absorbed (across windows)
+
+  void observe(double x, double alpha) {
+    if (count == 0) {
+      mean = x;
+      var = 0.0;
+    } else {
+      const double diff = x - mean;
+      const double incr = alpha * diff;
+      mean += incr;
+      var = (1.0 - alpha) * (var + diff * incr);
+    }
+    ++count;
+  }
+
+  [[nodiscard]] double sigma() const { return var > 0.0 ? std::sqrt(var) : 0.0; }
+};
+
+/// How cross_step_carried() consumes an EwmaBaseline.
+struct EwmaStepPolicy {
+  /// EWMA smoothing factor for the carried mean/variance.
+  double alpha = 0.2;
+  /// Baseline observations required before the carried rule may score a
+  /// step (mirrors KSigmaConfig::min_samples, but counted across windows).
+  std::size_t min_samples = 6;
+};
+
 class Diagnoser {
  public:
   explicit Diagnoser(DiagnosisConfig config = {});
@@ -143,6 +178,21 @@ class Diagnoser {
   [[nodiscard]] std::vector<StepAlert> cross_step(
       std::span<const GpuTimeline> timelines,
       KSigmaStats* stats = nullptr) const;
+
+  /// Cross-step with a cross-window baseline (the session warm path).
+  /// Runs the plain window-local rule first — identical alerts to
+  /// cross_step() — then, when the window alone is too short for that rule
+  /// to fire (fewer than min_samples scorable steps), scores each step
+  /// against the carried baseline instead, so a straggler step is caught
+  /// from the second window on. Every scorable step duration is folded
+  /// into `baseline` afterwards. Baseline-sourced alerts are appended to
+  /// the returned vector and counted in `*ewma_alerts` (when non-null);
+  /// they are NOT added to `stats` (so report telemetry for the window-
+  /// local rule stays field-for-field equal to the cold path).
+  [[nodiscard]] std::vector<StepAlert> cross_step_carried(
+      const GpuTimeline& timeline, EwmaBaseline& baseline,
+      const EwmaStepPolicy& policy, KSigmaStats* stats = nullptr,
+      std::uint64_t* ewma_alerts = nullptr) const;
 
   /// Cross-group diagnosis. durations[g][k] = DP duration (seconds) of
   /// group g in step k; rows may have differing lengths (partial windows) —

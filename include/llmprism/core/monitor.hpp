@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "llmprism/common/thread_pool.hpp"
 #include "llmprism/core/prism.hpp"
+#include "llmprism/core/session.hpp"
 
 namespace llmprism {
 
@@ -28,28 +30,25 @@ struct MonitorConfig {
   /// only once the watermark (latest flow start seen) passes its end by
   /// this slack.
   DurationNs reorder_slack = kSecond;
+  /// Carry warm state across windows through a PrismSession (see
+  /// session.hpp): recognition/router reuse, comm-type priors, boundary-
+  /// straddling step reconstruction, cross-window EWMA baselines. With
+  /// carry the closed windows of one batch are analyzed sequentially in
+  /// time order (the state is a chain); set false for the stateless mode,
+  /// which analyzes a batch's windows concurrently and is bit-identical to
+  /// the pre-session monitor.
+  bool carry_state = true;
+  /// Session tuning (used only when carry_state is true).
+  SessionConfig session;
+
+  /// Descriptive configuration errors (empty = valid; includes the nested
+  /// prism and session configs). The OnlineMonitor constructor throws a
+  /// std::invalid_argument listing every problem at once.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// A stable identity for a recognized job across windows.
 using MonitorJobId = std::uint64_t;
-
-/// Hash of a job's machine set, used to key stable-id lookups directly on
-/// the `RecognizedJob::machines` vector — no per-lookup string building.
-/// SplitMix64-style per-element mix; order-sensitive, matching the
-/// recognizer's canonical ascending machine order.
-struct MachineSetHash {
-  [[nodiscard]] std::size_t operator()(
-      const std::vector<MachineId>& machines) const noexcept {
-    std::uint64_t h = machines.size();
-    for (const MachineId m : machines) {
-      std::uint64_t z = h + m.value() + 0x9e3779b97f4a7c15ULL;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      h = z ^ (z >> 31);
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
 
 /// Result of analyzing one completed window.
 struct MonitorTick {
@@ -99,6 +98,17 @@ class OnlineMonitor {
   /// Number of distinct jobs ever observed.
   [[nodiscard]] std::size_t jobs_seen() const { return job_ids_.size(); }
 
+  /// The warm-state session (null when carry_state is false). Exposed for
+  /// observability: counters() reports cache hits, invalidations, carried
+  /// boundary steps, and EWMA alerts.
+  [[nodiscard]] const PrismSession* session() const { return session_.get(); }
+
+  /// Drop all carried warm state (e.g. after a known cluster re-shuffle);
+  /// the next window runs cold and re-seeds. No-op without carry_state.
+  void invalidate_session() {
+    if (session_) session_->invalidate();
+  }
+
  private:
   MonitorTick analyze_window(TimeWindow window, FlowTrace flows);
   /// Stable-id assignment + stats, applied to ticks strictly in time order
@@ -109,8 +119,10 @@ class OnlineMonitor {
   const ClusterTopology& topology_;
   MonitorConfig config_;
   Prism prism_;
+  /// Warm cross-window state; null when carry_state is false.
+  std::unique_ptr<PrismSession> session_;
   /// Fan-out pool for the completed windows of one batch; null when the
-  /// configuration is single-threaded.
+  /// configuration is single-threaded or carry_state serializes windows.
   std::unique_ptr<ThreadPool> window_pool_;
 
   /// Reorder buffer; invariant: always sorted (each ingest batch is

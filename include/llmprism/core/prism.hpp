@@ -13,11 +13,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "llmprism/common/thread_pool.hpp"
 #include "llmprism/core/comm_type.hpp"
 #include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/job_recognition.hpp"
 #include "llmprism/core/parallelism_inference.hpp"
+#include "llmprism/core/session.hpp"
 #include "llmprism/core/timeline.hpp"
 #include "llmprism/flow/trace.hpp"
 #include "llmprism/topology/topology.hpp"
@@ -37,6 +40,11 @@ struct PrismConfig {
   /// identical for every value (see DESIGN.md, "Concurrency model");
   /// `tests/test_parallel_equivalence.cpp` enforces this.
   std::size_t num_threads = 0;
+
+  /// Descriptive configuration errors (empty = valid). The Prism
+  /// constructor calls this and throws std::invalid_argument listing every
+  /// problem at once; CLI tools call it directly for friendlier output.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Full analysis of one recognized job.
@@ -115,13 +123,25 @@ class Prism {
   /// OnlineMonitor does exactly that for concurrent windows).
   [[nodiscard]] PrismReport analyze(const FlowTrace& trace) const;
 
+  /// Same, threading warm cross-window state through the pipeline (the
+  /// incremental path — see session.hpp and DESIGN.md §9). With a null
+  /// session this IS the cold overload, bit for bit. With a session, the
+  /// caller must analyze consecutive windows of one feed in time order and
+  /// not share the session between concurrent analyze() calls; the per-job
+  /// fan-out inside one call still parallelizes. An un-armed session (no
+  /// begin_window() call) is armed automatically with the trace's end and
+  /// hold_tail = false.
+  [[nodiscard]] PrismReport analyze(const FlowTrace& trace,
+                                    PrismSession* session) const;
+
   /// Resolved fan-out width (>= 1).
   [[nodiscard]] std::size_t num_threads() const;
 
  private:
   /// The pipeline body; `trace` is known-sorted (the public entry point
   /// performs the one boundary sort when needed).
-  [[nodiscard]] PrismReport analyze_sorted(const FlowTrace& trace) const;
+  [[nodiscard]] PrismReport analyze_sorted(const FlowTrace& trace,
+                                           PrismSession* session) const;
 
   const ClusterTopology& topology_;
   PrismConfig config_;

@@ -11,6 +11,13 @@
 
 namespace llmprism {
 
+/// Version of the JSON export schemas below. Emitted as `schema_version`
+/// (first key of the report document, header line of the timeline NDJSON)
+/// so downstream SRE tooling can reject documents it does not understand.
+/// Bump when a field is renamed/removed or its meaning changes; adding
+/// fields is backward-compatible and needs no bump.
+inline constexpr int kReportSchemaVersion = 1;
+
 struct RenderOptions {
   std::size_t width = 100;   ///< characters across the time axis
   /// Window to render; {0,0} = the timeline's own span.
@@ -28,7 +35,8 @@ struct RenderOptions {
 [[nodiscard]] std::string render_timeline_chart(
     std::span<const GpuTimeline> timelines, const RenderOptions& options = {});
 
-/// Timeline(s) as JSON lines (one event per line) for external tooling.
+/// Timeline(s) as JSON lines for external tooling: a header object
+/// (`{"schema_version":...}`) followed by one event object per line.
 void write_timeline_json(std::ostream& os,
                          std::span<const GpuTimeline> timelines);
 

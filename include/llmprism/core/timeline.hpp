@@ -73,6 +73,40 @@ struct TimelineConfig {
   DurationNs min_compute_gap = 1 * kMillisecond;
 };
 
+/// Cross-window carry of one GPU's step structure (the session warm path).
+struct GpuStepCarry {
+  /// DP comm events of the previous window's trailing provisional burst,
+  /// held back because the burst ended too close to the window boundary to
+  /// be a complete step. Prepended to the next window's events, so the
+  /// straddling step is re-segmented with both halves visible.
+  std::vector<TimelineEvent> held_events;
+  /// End of the last complete step emitted for this GPU; seeds the next
+  /// window's step-0 begin (the cold path has to fall back to the window's
+  /// first event).
+  TimeNs prev_step_end = 0;
+  bool has_prev_step = false;
+};
+
+/// Per-job carry across windows, keyed by GPU.
+struct TimelineCarry {
+  std::unordered_map<GpuId, GpuStepCarry> per_gpu;
+  /// Per-call outcome (reset by each carry-aware reconstruct_all call).
+  std::uint64_t steps_held = 0;        ///< trailing bursts held back
+  std::uint64_t steps_carried_in = 0;  ///< held bursts consumed this window
+};
+
+/// Window geometry for one carry-aware reconstruction call.
+struct TimelineCarryContext {
+  TimelineCarry* carry = nullptr;  ///< null = cold (no carry)
+  /// End of the analysis window the trace was sliced from.
+  TimeNs window_end = 0;
+  /// Hold back a trailing DP burst that ends within `boundary_hold` of
+  /// window_end (set for every window except the final flush, whose tail
+  /// is genuinely the end of the feed).
+  bool hold_tail = false;
+  DurationNs boundary_hold = 200 * kMillisecond;
+};
+
 class TimelineReconstructor {
  public:
   explicit TimelineReconstructor(TimelineConfig config = {});
@@ -99,6 +133,16 @@ class TimelineReconstructor {
   [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
       const FlowTrace& job_trace, std::span<const CommType> flow_types,
       SegmenterStats* segmenter_stats = nullptr) const;
+
+  /// Carry-aware variant (the session warm path): held-back DP bursts from
+  /// `ctx.carry` are prepended to their GPU's events before segmentation,
+  /// step 0 begins at the carried previous step end, and a trailing burst
+  /// ending within `ctx.boundary_hold` of `ctx.window_end` is held back
+  /// into the carry instead of being emitted as a (truncated) step. With
+  /// `ctx.carry == nullptr` this is exactly the cold overload.
+  [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
+      const FlowTrace& job_trace, std::span<const CommType> flow_types,
+      SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const;
 
  private:
   TimelineConfig config_;

@@ -6,9 +6,11 @@
 // where `switches` is a ';'-joined hop list, e.g. "3;17;4".
 #pragma once
 
+#include <cstddef>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "llmprism/flow/trace.hpp"
 
@@ -17,8 +19,34 @@ namespace llmprism {
 /// Write `trace` as CSV with a header row.
 void write_csv(std::ostream& os, const FlowTrace& trace);
 
-/// Parse a CSV flow trace (header row required).
-/// Throws std::runtime_error on malformed input.
+/// One rejected CSV row: the 1-based physical line number (blank lines and
+/// the header count toward it, so the number matches what an editor shows)
+/// and what was wrong with it.
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Outcome of a checked parse: every well-formed row, plus a diagnostic per
+/// rejected one. A collector export with a few corrupt lines still yields
+/// all its good flows — the caller decides whether errors are fatal.
+struct ParseResult {
+  FlowTrace trace;
+  std::vector<ParseError> errors;
+  /// Physical lines consumed (header and blank lines included).
+  std::size_t lines_read = 0;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parse a CSV flow trace without throwing on malformed rows: bad rows are
+/// reported in `errors` (1-based line numbers) and skipped. A missing
+/// header is itself an error (no rows are parsed without one).
+[[nodiscard]] ParseResult read_csv_checked(std::istream& is);
+
+/// Parse a CSV flow trace (header row required). Thin wrapper over
+/// read_csv_checked() that throws std::runtime_error naming the first bad
+/// line on any malformed input.
 [[nodiscard]] FlowTrace read_csv(std::istream& is);
 
 /// Convenience file wrappers; throw std::runtime_error if the file cannot

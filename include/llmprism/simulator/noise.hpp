@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "llmprism/common/rng.hpp"
 #include "llmprism/common/time.hpp"
@@ -46,9 +48,15 @@ struct NoiseConfig {
            partial_record_rate > 0 || time_jitter > 0 ||
            degraded_pair_fraction > 0;
   }
+
+  /// Descriptive configuration errors (empty = valid): probabilities must
+  /// be in [0, 1], truncation_prob_min must not exceed _max, durations must
+  /// be >= 0. apply_noise() throws std::invalid_argument listing them.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Returns a corrupted copy of `trace` (sorted). Deterministic given `rng`.
+/// Throws std::invalid_argument when `config` fails validate().
 [[nodiscard]] FlowTrace apply_noise(const FlowTrace& trace,
                                     const NoiseConfig& config, Rng& rng);
 

@@ -105,11 +105,15 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
 
 CommTypeResult CommTypeIdentifier::identify(
     const FlowTrace& job_trace, const PairIndex& pair_index,
-    std::vector<CommType>* flow_types) const {
+    std::vector<CommType>* flow_types, CommTypeCarry* carry) const {
   CommTypeResult result;
   // CSR positions preserve trace order, so on a sorted trace every pair's
   // flows are already chronological and nothing below re-sorts.
   const bool trace_sorted = job_trace.is_sorted();
+  if (carry != nullptr) {
+    carry->pairs_reused = 0;
+    carry->pairs_reclassified = 0;
+  }
 
   // ---- per-pair classification (Alg. 2 lines 2-12) ----
   // Pairs are visited in dense-id (first-appearance) order; result.pairs[id]
@@ -120,6 +124,38 @@ CommTypeResult CommTypeIdentifier::identify(
     PairClassification pc;
     pc.pair = pair_index.pair(pair_id);
     pc.num_flows = flow_idxs.size();
+
+    // Warm fast path: when the whole window's distinct-size count agrees
+    // with the carried pre-refinement type, skip the BOCD step division.
+    // A one-cluster window provably yields Mode(N_k) == 1 (every subset of
+    // a single tolerance cluster is a single cluster), so reusing PP is
+    // exact; a multi-size window reusing DP matches the cold mode on any
+    // steady DP pair. Disagreement (or a pair with no prior) falls through
+    // to the full classification.
+    if (carry != nullptr) {
+      const auto prior = carry->pre_types.find(pc.pair);
+      if (prior != carry->pre_types.end()) {
+        std::vector<std::uint64_t> sizes;
+        sizes.reserve(flow_idxs.size());
+        for (const std::size_t i : flow_idxs) {
+          sizes.push_back(job_trace[i].bytes);
+        }
+        const std::size_t distinct = count_distinct_sizes(std::move(sizes));
+        const CommType evidence =
+            distinct <= 1 ? CommType::kPP : CommType::kDP;
+        if (evidence == prior->second) {
+          pc.pre_refinement_type = prior->second;
+          pc.type = pc.pre_refinement_type;
+          // BOCD was skipped: no step observations this window (documented
+          // work-telemetry difference of the warm path).
+          pc.num_steps_observed = 0;
+          ++carry->pairs_reused;
+          result.pairs.push_back(std::move(pc));
+          continue;
+        }
+      }
+      ++carry->pairs_reclassified;
+    }
 
     // (1)+(2) step division via BOCD over inter-flow intervals.
     std::vector<TimeNs> timestamps;
@@ -285,6 +321,17 @@ CommTypeResult CommTypeIdentifier::identify(
     flow_types->resize(job_trace.size());
     for (std::size_t i = 0; i < job_trace.size(); ++i) {
       (*flow_types)[i] = type_of_pair[pair_of_flow[i]];
+    }
+  }
+
+  // Refresh the carry with this window's evidence. Pairs absent from the
+  // window lose their prior (an idle-then-returning pair is re-classified
+  // from scratch — conservative, never stale).
+  if (carry != nullptr) {
+    carry->pre_types.clear();
+    carry->pre_types.reserve(result.pairs.size());
+    for (const PairClassification& p : result.pairs) {
+      carry->pre_types.emplace(p.pair, p.pre_refinement_type);
     }
   }
 

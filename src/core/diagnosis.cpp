@@ -175,6 +175,45 @@ std::vector<StepAlert> Diagnoser::cross_step(const GpuTimeline& timeline,
   return alerts;
 }
 
+std::vector<StepAlert> Diagnoser::cross_step_carried(
+    const GpuTimeline& timeline, EwmaBaseline& baseline,
+    const EwmaStepPolicy& policy, KSigmaStats* stats,
+    std::uint64_t* ewma_alerts) const {
+  // Window-local rule first: byte-identical to the cold path's alerts.
+  std::vector<StepAlert> alerts = cross_step(timeline, stats);
+
+  // The window-local rule scores steps 1.. (step 0's duration is a window
+  // artefact) and only when it has >= min_samples of them. When it cannot
+  // fire, the carried baseline takes over — but only once the baseline
+  // itself has absorbed enough history.
+  const std::size_t scorable =
+      timeline.steps.size() > 1 ? timeline.steps.size() - 1 : 0;
+  const bool window_self_sufficient = scorable >= config_.ksigma.min_samples;
+  for (std::size_t i = 1; i < timeline.steps.size(); ++i) {
+    const double d = to_seconds(timeline.steps[i].duration());
+    if (!window_self_sufficient && baseline.count >= policy.min_samples) {
+      const double threshold =
+          baseline.mean + config_.ksigma.k * baseline.sigma();
+      if (d > threshold &&
+          d > baseline.mean * (1.0 + config_.ksigma.min_relative_excess)) {
+        StepAlert a;
+        a.gpu = timeline.gpu;
+        a.step_index = timeline.steps[i].index;
+        a.duration_s = d;
+        a.mean_s = baseline.mean;
+        a.threshold_s = threshold;
+        alerts.push_back(a);
+        if (ewma_alerts != nullptr) ++*ewma_alerts;
+        // An outlier must not drag the baseline it was scored against;
+        // skip the fold so one straggler cannot mask the next.
+        continue;
+      }
+    }
+    baseline.observe(d, policy.alpha);
+  }
+  return alerts;
+}
+
 std::vector<StepAlert> Diagnoser::cross_step(
     std::span<const GpuTimeline> timelines, KSigmaStats* stats) const {
   std::vector<StepAlert> alerts;

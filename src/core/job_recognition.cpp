@@ -95,6 +95,15 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
                                clusters[c].end());
       machines.insert(machine_sets[c].begin(), machine_sets[c].end());
     }
+    // Canonical cluster order (clusters are disjoint and internally
+    // sorted, so the first GPU is a total order). This makes the result a
+    // pure function of the undirected edge SET, independent of flow order
+    // — the invariant the session's recognition fast path relies on.
+    std::sort(job.cross_machine_clusters.begin(),
+              job.cross_machine_clusters.end(),
+              [](const std::vector<GpuId>& a, const std::vector<GpuId>& b) {
+                return a.front() < b.front();
+              });
     std::sort(job.observed_gpus.begin(), job.observed_gpus.end());
     job.machines.assign(machines.begin(), machines.end());
     std::sort(job.machines.begin(), job.machines.end());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "llmprism/common/time.hpp"
@@ -51,19 +52,51 @@ MonitorMetrics& monitor_metrics() {
 
 }  // namespace
 
+std::vector<std::string> MonitorConfig::validate() const {
+  std::vector<std::string> errors = prism.validate();
+  if (window <= 0) {
+    errors.push_back("monitor: window must be positive, got " +
+                     std::to_string(window));
+  }
+  if (reorder_slack < 0) {
+    errors.push_back("monitor: reorder_slack must be >= 0, got " +
+                     std::to_string(reorder_slack));
+  }
+  if (window > 0 && reorder_slack > window) {
+    errors.push_back(
+        "monitor: reorder_slack must not exceed the window (flows later than "
+        "one window are already analyzed), got slack " +
+        std::to_string(reorder_slack) + " vs window " + std::to_string(window));
+  }
+  if (carry_state) {
+    for (std::string& e : session.validate()) {
+      errors.push_back(std::move(e));
+    }
+  }
+  return errors;
+}
+
 OnlineMonitor::OnlineMonitor(const ClusterTopology& topology,
                              MonitorConfig config)
     : topology_(topology),
       config_(std::move(config)),
       prism_(topology_, config_.prism) {
-  if (config_.window <= 0) {
-    throw std::invalid_argument("monitor: window must be positive");
+  if (const auto errors = config_.validate(); !errors.empty()) {
+    std::string message = "invalid monitor configuration:";
+    for (const std::string& e : errors) {
+      message += "\n  - ";
+      message += e;
+    }
+    throw std::invalid_argument(message);
   }
-  if (config_.reorder_slack < 0) {
-    throw std::invalid_argument("monitor: reorder_slack must be >= 0");
+  if (config_.carry_state) {
+    // Warm windows form a state chain and are analyzed sequentially; the
+    // per-job fan-out INSIDE each window still uses prism_'s pool.
+    session_ = std::make_unique<PrismSession>(config_.session);
+  } else {
+    const std::size_t threads = ThreadPool::resolve(config_.prism.num_threads);
+    if (threads > 1) window_pool_ = std::make_unique<ThreadPool>(threads - 1);
   }
-  const std::size_t threads = ThreadPool::resolve(config_.prism.num_threads);
-  if (threads > 1) window_pool_ = std::make_unique<ThreadPool>(threads - 1);
 }
 
 MonitorJobId OnlineMonitor::stable_id_for(const RecognizedJob& job) {
@@ -105,7 +138,15 @@ MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
   MonitorTick tick;
   tick.window = window;
   flows.sort();
-  tick.report = prism_.analyze(flows);
+  if (session_) {
+    // Flush ends the feed: no next window will complete a held burst, so
+    // the trailing step is emitted now (hold_tail = false) — together with
+    // any burst the previous window held back.
+    session_->begin_window(window.end, /*hold_tail=*/false);
+    tick.report = prism_.analyze(flows, session_.get());
+  } else {
+    tick.report = prism_.analyze(flows);
+  }
   finish_tick(tick);
   monitor_metrics().windows_completed.inc();
   return tick;
@@ -159,17 +200,30 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   }
   if (!closed.empty()) buffer_.drop_before(window_begin_);
 
-  // Analyze the closed windows concurrently (the pure, per-window part),
-  // then assign stable ids and stats sequentially in time order so both are
-  // independent of which window finished first.
+  // Analyze the closed windows, then assign stable ids and stats
+  // sequentially in time order so both are independent of scheduling.
+  // With warm state the windows form a chain (each consumes the carry the
+  // previous one left) and MUST run sequentially in time order; stateless
+  // mode analyzes them concurrently — the windows are pure functions.
   std::vector<MonitorTick> ticks(closed.size());
   metrics.windows_in_flight.set(static_cast<double>(closed.size()));
-  parallel_for(window_pool_.get(), closed.size(), [&](std::size_t i) {
-    const obs::Span window_span("monitor.window", i);
-    ticks[i].window = closed[i].first;
-    // window() slices are born sorted; analyze verifies via the cache.
-    ticks[i].report = prism_.analyze(closed[i].second);
-  });
+  if (session_) {
+    for (std::size_t i = 0; i < closed.size(); ++i) {
+      const obs::Span window_span("monitor.window", i);
+      ticks[i].window = closed[i].first;
+      // Every streamed window may be continued by the next one, so its
+      // trailing burst is held back (hold_tail); only flush() ends the feed.
+      session_->begin_window(closed[i].first.end, /*hold_tail=*/true);
+      // window() slices are born sorted; analyze verifies via the cache.
+      ticks[i].report = prism_.analyze(closed[i].second, session_.get());
+    }
+  } else {
+    parallel_for(window_pool_.get(), closed.size(), [&](std::size_t i) {
+      const obs::Span window_span("monitor.window", i);
+      ticks[i].window = closed[i].first;
+      ticks[i].report = prism_.analyze(closed[i].second);
+    });
+  }
   metrics.windows_in_flight.set(0.0);
   for (MonitorTick& tick : ticks) finish_tick(tick);
   metrics.windows_completed.inc(ticks.size());

@@ -1,6 +1,9 @@
 #include "llmprism/core/prism.hpp"
 
 #include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -83,7 +86,89 @@ void fold_job_telemetry(ReportTelemetry& t, const JobAnalysis& analysis,
   t.ksigma_alerts += job_ksigma.alerts;
 }
 
+/// Join a non-empty error list into one exception message.
+[[noreturn]] void throw_config_errors(const std::vector<std::string>& errors) {
+  std::string message = "invalid configuration:";
+  for (const std::string& e : errors) {
+    message += "\n  - ";
+    message += e;
+  }
+  throw std::invalid_argument(message);
+}
+
 }  // namespace
+
+std::vector<std::string> PrismConfig::validate() const {
+  std::vector<std::string> errors;
+  if (!(recognition.jaccard_threshold > 0.0) ||
+      recognition.jaccard_threshold > 1.0) {
+    errors.push_back("recognition: jaccard_threshold must be in (0, 1], got " +
+                     std::to_string(recognition.jaccard_threshold));
+  }
+  if (comm_type.size_tolerance < 0.0) {
+    errors.push_back("comm_type: size_tolerance must be >= 0, got " +
+                     std::to_string(comm_type.size_tolerance));
+  }
+  if (comm_type.min_size_share < 0.0 || comm_type.min_size_share >= 1.0) {
+    errors.push_back("comm_type: min_size_share must be in [0, 1), got " +
+                     std::to_string(comm_type.min_size_share));
+  }
+  if (timeline.min_compute_gap < 0) {
+    errors.push_back("timeline: min_compute_gap must be >= 0, got " +
+                     std::to_string(timeline.min_compute_gap));
+  }
+  const auto check_segmenter = [&errors](const SegmenterConfig& seg,
+                                         const char* where) {
+    if (seg.bocd.hazard_lambda <= 0.0) {
+      errors.push_back(std::string(where) +
+                       ": bocd.hazard_lambda must be > 0, got " +
+                       std::to_string(seg.bocd.hazard_lambda));
+    }
+    if (!(seg.bocd.changepoint_threshold > 0.0) ||
+        seg.bocd.changepoint_threshold > 1.0) {
+      errors.push_back(std::string(where) +
+                       ": bocd.changepoint_threshold must be in (0, 1], got " +
+                       std::to_string(seg.bocd.changepoint_threshold));
+    }
+    if (seg.coalesce_gap < 0) {
+      errors.push_back(std::string(where) + ": coalesce_gap must be >= 0");
+    }
+    if (seg.gap_guard_factor < 0.0) {
+      errors.push_back(std::string(where) + ": gap_guard_factor must be >= 0");
+    }
+  };
+  check_segmenter(comm_type.segmenter, "comm_type.segmenter");
+  check_segmenter(timeline.segmenter, "timeline.segmenter");
+  const auto check_ksigma = [&errors](const KSigmaConfig& ks,
+                                      const char* where) {
+    if (ks.k <= 0.0) {
+      errors.push_back(std::string(where) + ": k must be > 0, got " +
+                       std::to_string(ks.k));
+    }
+    if (ks.min_samples < 2) {
+      errors.push_back(std::string(where) +
+                       ": min_samples must be >= 2 (a spread estimate needs "
+                       "at least two observations)");
+    }
+    if (ks.min_relative_excess < 0.0) {
+      errors.push_back(std::string(where) +
+                       ": min_relative_excess must be >= 0, got " +
+                       std::to_string(ks.min_relative_excess));
+    }
+  };
+  check_ksigma(diagnosis.ksigma, "diagnosis.ksigma");
+  check_ksigma(diagnosis.switch_ksigma, "diagnosis.switch_ksigma");
+  if (diagnosis.switch_dp_flow_limit == 0) {
+    errors.push_back("diagnosis: switch_dp_flow_limit must be >= 1");
+  }
+  if (diagnosis.switch_health_percentile < 0.0 ||
+      diagnosis.switch_health_percentile > 100.0) {
+    errors.push_back(
+        "diagnosis: switch_health_percentile must be in [0, 100], got " +
+        std::to_string(diagnosis.switch_health_percentile));
+  }
+  return errors;
+}
 
 ReportTelemetry& ReportTelemetry::operator+=(const ReportTelemetry& other) {
   flows_total += other.flows_total;
@@ -111,6 +196,9 @@ ReportTelemetry& ReportTelemetry::operator+=(const ReportTelemetry& other) {
 
 Prism::Prism(const ClusterTopology& topology, PrismConfig config)
     : topology_(topology), config_(std::move(config)) {
+  if (const auto errors = config_.validate(); !errors.empty()) {
+    throw_config_errors(errors);
+  }
   const std::size_t threads = ThreadPool::resolve(config_.num_threads);
   // The calling thread participates in every loop, so `threads - 1` workers
   // yield exactly `threads` concurrent lanes; with one thread no pool is
@@ -123,41 +211,74 @@ std::size_t Prism::num_threads() const {
 }
 
 PrismReport Prism::analyze(const FlowTrace& trace) const {
+  return analyze(trace, nullptr);
+}
+
+PrismReport Prism::analyze(const FlowTrace& trace,
+                           PrismSession* session) const {
   // Sort-once boundary: everything downstream (routing, per-pair CSR
   // positions, windowing, DP-run merging) relies on time order, so an
   // unsorted input is sorted exactly once here — never again per job.
   if (!trace.is_sorted()) {
     FlowTrace sorted = trace;
     sorted.sort();
-    return analyze_sorted(sorted);
+    return analyze_sorted(sorted, session);
   }
-  return analyze_sorted(trace);
+  return analyze_sorted(trace, session);
 }
 
-PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
+PrismReport Prism::analyze_sorted(const FlowTrace& trace,
+                                  PrismSession* session) const {
   PrismReport report;
   PrismMetrics& metrics = prism_metrics();
   const obs::ScopedTimer analyze_timer(metrics.analyze_seconds);
   const obs::Span analyze_span("prism.analyze");
 
-  // (1) job recognition
+  // A caller that did not arm the session gets sane window geometry: the
+  // trace's own end, with no tail hold-back (a one-shot analysis has no
+  // next window to complete a held burst).
+  if (session != nullptr && !session->window_armed()) {
+    session->begin_window(trace.span().end, /*hold_tail=*/false);
+  }
+
+  // (1) job recognition. The warm fast path is gated on exact-match
+  // merging (jaccard_threshold >= 1): only there is the partition provably
+  // a pure function of the window's pair set, which is what makes reuse a
+  // verification rather than a guess.
+  const bool try_recognition_reuse =
+      session != nullptr && session->config().reuse_recognition &&
+      config_.recognition.jaccard_threshold >= 1.0;
+  bool recognition_reused = false;
   const JobRecognizer recognizer(topology_, config_.recognition);
   {
     const obs::Span span("prism.recognize");
-    report.recognition = recognizer.recognize(trace);
+    if (try_recognition_reuse && session->probe_recognition(trace)) {
+      report.recognition = session->cached_recognition();
+      recognition_reused = true;
+    } else {
+      report.recognition = recognizer.recognize(trace);
+      if (try_recognition_reuse) session->store_recognition(report.recognition);
+    }
   }
   log::info("prism: recognized ", report.recognition.jobs.size(),
             " jobs from ", report.recognition.num_cross_machine_clusters,
-            " cross-machine clusters");
+            " cross-machine clusters",
+            recognition_reused ? " (partition reused)" : "");
 
   // Route each flow to its job in one ordered pass over the trace: a
   // dense interned GPU->job table (one load per flow, no hash probes),
-  // src lookup with dst fallback.
+  // src lookup with dst fallback. A recognition-cache hit also reuses the
+  // cached dense table instead of re-interning every job's GPU set.
   const std::size_t num_jobs = report.recognition.jobs.size();
   std::vector<FlowTrace> job_traces;
   {
     const obs::Span span("prism.route");
-    const FlowRouter router(report.recognition.jobs);
+    std::optional<FlowRouter> local_router;
+    const FlowRouter& router =
+        recognition_reused
+            ? session->cached_router()
+            : local_router.emplace(
+                  std::span<const RecognizedJob>(report.recognition.jobs));
     FlowRouter::Result routed = router.route(trace);
     job_traces = std::move(routed.job_traces);
     report.telemetry.flows_routed = routed.flows_routed;
@@ -165,6 +286,17 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
     report.telemetry.flows_unattributed = routed.flows_unattributed;
   }
   report.telemetry.flows_total = trace.size();
+
+  // Resolve per-job warm states sequentially before the fan-out (the map
+  // may rehash on insert; references stay valid — it is node-based — but
+  // the lookups themselves must not race). Each task then touches only its
+  // own job's state.
+  std::vector<SessionJobState*> job_states(num_jobs, nullptr);
+  if (session != nullptr) {
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      job_states[j] = &session->job_state(report.recognition.jobs[j].machines);
+    }
+  }
 
   const CommTypeIdentifier identifier(config_.comm_type);
   const TimelineReconstructor reconstructor(config_.timeline);
@@ -190,15 +322,22 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
     assert(analysis.trace.is_sorted() &&
            "routing must preserve the sorted input's order");
 
+    SessionJobState* const state = job_states[j];
+
     // (2) parallelism strategies, over the job's CSR pair index; the
     // per-flow types come back as a dense vector (one CommType per trace
     // position) shared with DP collection and timeline reconstruction.
+    // With a session, last window's classifications serve as warm priors.
     const PairIndex pair_index(analysis.trace);
     std::vector<CommType> flow_types;
     {
       const obs::Span span("job.comm_type", j);
+      CommTypeCarry* const carry =
+          state != nullptr && session->config().reuse_comm_types
+              ? &state->comm
+              : nullptr;
       analysis.comm_types =
-          identifier.identify(analysis.trace, pair_index, &flow_types);
+          identifier.identify(analysis.trace, pair_index, &flow_types, carry);
     }
 
     // Collect this job's DP flows for cluster-wide switch diagnosis; the
@@ -213,13 +352,34 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
     if (config_.reconstruct_timelines) {
       {
         const obs::Span span("job.timeline", j);
+        TimelineCarryContext tctx;
+        if (state != nullptr && session->config().carry_timeline_tails) {
+          tctx.carry = &state->timeline;
+          tctx.window_end = session->window_end();
+          tctx.hold_tail = session->hold_tail();
+          tctx.boundary_hold = session->config().boundary_hold;
+        }
         analysis.timelines = reconstructor.reconstruct_all(
-            analysis.trace, flow_types, &timeline_stats[j]);
+            analysis.trace, flow_types, &timeline_stats[j], tctx);
       }
       const obs::Span span("job.diagnosis", j);
-      analysis.step_alerts =
-          diagnoser.cross_step(std::span<const GpuTimeline>(analysis.timelines),
-                               &ksigma_stats[j]);
+      if (state != nullptr && session->config().ewma_baselines) {
+        // Per-timeline so each GPU scores against ITS carried baseline;
+        // concatenation order matches the span overload's iteration order.
+        const EwmaStepPolicy policy{session->config().ewma_alpha,
+                                    session->config().ewma_min_samples};
+        for (const GpuTimeline& tl : analysis.timelines) {
+          std::vector<StepAlert> alerts = diagnoser.cross_step_carried(
+              tl, state->step_baselines[tl.gpu], policy, &ksigma_stats[j],
+              &state->ewma_alerts_last);
+          analysis.step_alerts.insert(analysis.step_alerts.end(),
+                                      alerts.begin(), alerts.end());
+        }
+      } else {
+        analysis.step_alerts = diagnoser.cross_step(
+            std::span<const GpuTimeline>(analysis.timelines),
+            &ksigma_stats[j]);
+      }
       const auto durations = group_dp_durations(
           analysis.timelines, analysis.comm_types.dp_components);
       analysis.group_alerts = diagnoser.cross_group(durations,
@@ -257,6 +417,16 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace) const {
   report.telemetry.ksigma_series += switch_stats.series;
   report.telemetry.ksigma_points += switch_stats.points;
   report.telemetry.ksigma_alerts += switch_stats.alerts;
+
+  // Session bookkeeping: fold per-job outcomes in job-id order (so the
+  // counters are scheduling-invariant), then close the window (evictions,
+  // window counter, disarm).
+  if (session != nullptr) {
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      session->fold_job(*job_states[j]);
+    }
+    session->finish_window();
+  }
 
   metrics.analyses.inc();
   metrics.jobs.inc(num_jobs);

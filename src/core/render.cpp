@@ -117,6 +117,7 @@ std::string render_timeline_chart(std::span<const GpuTimeline> timelines,
 
 void write_timeline_json(std::ostream& os,
                          std::span<const GpuTimeline> timelines) {
+  os << "{\"schema_version\":" << kReportSchemaVersion << "}\n";
   for (const GpuTimeline& t : timelines) {
     for (const TimelineEvent& e : t.events) {
       os << "{\"gpu\":" << t.gpu.value() << ",\"kind\":\""
@@ -129,7 +130,8 @@ void write_timeline_json(std::ostream& os,
 }
 
 void write_report_json(std::ostream& os, const PrismReport& report) {
-  os << "{\"cross_machine_clusters\":"
+  os << "{\"schema_version\":" << kReportSchemaVersion
+     << ",\"cross_machine_clusters\":"
      << report.recognition.num_cross_machine_clusters << ",\"jobs\":[";
   for (std::size_t j = 0; j < report.jobs.size(); ++j) {
     const JobAnalysis& job = report.jobs[j];

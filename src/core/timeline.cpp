@@ -30,11 +30,29 @@ CommType type_of(const FlowRecord& f,
 }
 
 /// Build the timeline of one GPU from its (chronological) comm events.
+/// With a carry context (`ctx` non-null and ctx->carry set), held-back DP
+/// events from the previous window are prepended, step 0 begins at the
+/// carried previous step end, and a trailing near-boundary burst is held
+/// back instead of emitted; the null-context path is the cold behavior,
+/// bit for bit.
 GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
                      const TimelineConfig& config,
-                     SegmenterStats* segmenter_stats = nullptr) {
+                     SegmenterStats* segmenter_stats = nullptr,
+                     const TimelineCarryContext* ctx = nullptr) {
   GpuTimeline timeline;
   timeline.gpu = gpu;
+
+  GpuStepCarry* carry = nullptr;
+  if (ctx != nullptr && ctx->carry != nullptr) {
+    carry = &ctx->carry->per_gpu[gpu];
+    if (!carry->held_events.empty()) {
+      ++ctx->carry->steps_carried_in;
+      comm_events.insert(comm_events.end(), carry->held_events.begin(),
+                         carry->held_events.end());
+      carry->held_events.clear();
+    }
+  }
+
   std::sort(comm_events.begin(), comm_events.end(),
             [](const TimelineEvent& a, const TimelineEvent& b) {
               if (a.start != b.start) return a.start < b.start;
@@ -51,17 +69,50 @@ GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
     }
   }
 
+  std::vector<bool> held(comm_events.size(), false);
+  bool any_held = false;
   if (!dp_starts.empty()) {
     const auto burst_starts =
         segment_by_gaps(dp_starts, config.segmenter, segmenter_stats);
-    TimeNs prev_end = comm_events.empty() ? 0 : comm_events.front().start;
+
+    // Provisional tail: the last burst is held back (not emitted as a
+    // step) when it ends within boundary_hold of the window end — it may
+    // continue in the next window, and emitting it now would truncate the
+    // straddling step.
+    std::size_t hold_from = burst_starts.size();  // index of the held burst
+    if (carry != nullptr && ctx->hold_tail) {
+      const std::size_t last_begin = burst_starts.back();
+      TimeNs tail_dp_end = dp_starts[last_begin];
+      for (std::size_t i = last_begin; i < dp_starts.size(); ++i) {
+        tail_dp_end = std::max(tail_dp_end, comm_events[dp_event_idx[i]].end);
+      }
+      if (ctx->window_end - tail_dp_end < ctx->boundary_hold) {
+        hold_from = burst_starts.size() - 1;
+      }
+    }
+
+    TimeNs prev_end = (carry != nullptr && carry->has_prev_step)
+                          ? carry->prev_step_end
+                          : (comm_events.empty() ? 0
+                                                 : comm_events.front().start);
     for (std::size_t b = 0; b < burst_starts.size(); ++b) {
       const std::size_t seg_begin = burst_starts[b];
       const std::size_t seg_end = b + 1 < burst_starts.size()
                                       ? burst_starts[b + 1]
                                       : dp_starts.size();
+      if (b >= hold_from) {
+        // Move the burst's DP events into the carry; they are re-observed
+        // (and the step emitted) by the next window's segmentation.
+        for (std::size_t i = seg_begin; i < seg_end; ++i) {
+          carry->held_events.push_back(comm_events[dp_event_idx[i]]);
+          held[dp_event_idx[i]] = true;
+          any_held = true;
+        }
+        ++ctx->carry->steps_held;
+        continue;
+      }
       ReconstructedStep step;
-      step.index = b;
+      step.index = timeline.steps.size();
       step.begin = prev_end;
       step.dp_begin = dp_starts[seg_begin];
       step.dp_end = step.dp_begin;
@@ -73,11 +124,22 @@ GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
       timeline.steps.push_back(step);
     }
   }
+  if (carry != nullptr && !timeline.steps.empty()) {
+    carry->prev_step_end = timeline.steps.back().end;
+    carry->has_prev_step = true;
+  }
 
   // ---- fill compute gaps between communication events ----
   timeline.events.reserve(comm_events.size() * 2);
-  TimeNs busy_until = comm_events.empty() ? 0 : comm_events.front().start;
-  for (const TimelineEvent& e : comm_events) {
+  TimeNs busy_until = 0;
+  bool busy_set = false;
+  for (std::size_t i = 0; i < comm_events.size(); ++i) {
+    if (any_held && held[i]) continue;
+    const TimelineEvent& e = comm_events[i];
+    if (!busy_set) {
+      busy_until = e.start;
+      busy_set = true;
+    }
     if (e.start - busy_until >= config.min_compute_gap) {
       TimelineEvent gap;
       gap.kind = TimelineEventKind::kCompute;
@@ -122,8 +184,27 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
 std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     const FlowTrace& job_trace, std::span<const CommType> flow_types,
     SegmenterStats* segmenter_stats) const {
+  return reconstruct_all(job_trace, flow_types, segmenter_stats,
+                         TimelineCarryContext{});
+}
+
+std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
+    const FlowTrace& job_trace, std::span<const CommType> flow_types,
+    SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const {
+  if (ctx.carry != nullptr) {
+    ctx.carry->steps_held = 0;
+    ctx.carry->steps_carried_in = 0;
+  }
   // Single pass over the trace: bucket every flow under both endpoints.
   std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
+  if (ctx.carry != nullptr) {
+    // A GPU holding a carried burst gets a timeline even if it sent no
+    // flow this window — otherwise its held events would be dropped
+    // (flush after a quiet window must still emit the carried step).
+    for (const auto& [gpu, state] : ctx.carry->per_gpu) {
+      if (!state.held_events.empty()) per_gpu.try_emplace(gpu);
+    }
+  }
   for (std::size_t i = 0; i < job_trace.size(); ++i) {
     const FlowRecord& f = job_trace[i];
     per_gpu[f.src].push_back(make_event(f, f.src, flow_types[i]));
@@ -136,9 +217,11 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
 
   std::vector<GpuTimeline> out;
   out.reserve(gpus.size());
+  const TimelineCarryContext* carry_ctx =
+      ctx.carry != nullptr ? &ctx : nullptr;
   for (const GpuId g : gpus) {
     out.push_back(assemble(g, std::move(per_gpu[g]), config_,
-                           segmenter_stats));
+                           segmenter_stats, carry_ctx));
   }
   return out;
 }

@@ -62,29 +62,74 @@ void write_csv(std::ostream& os, const FlowTrace& trace) {
   }
 }
 
-FlowTrace read_csv(std::istream& is) {
-  const auto rows = csv::read_all(is);
-  if (rows.empty()) {
-    throw std::runtime_error("flow csv: empty input (missing header)");
-  }
-  FlowTrace trace;
-  trace.reserve(rows.size() - 1);
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() != 6) {
-      throw std::runtime_error("flow csv: expected 6 fields, got " +
-                               std::to_string(row.size()));
+ParseResult read_csv_checked(std::istream& is) {
+  // Line-by-line (not csv::read_all, which silently skips blank lines and
+  // would lose the physical line numbers the diagnostics promise).
+  ParseResult result;
+  bool header_seen = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++result.lines_read;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!header_seen) {
+      // First non-blank line is the header; anything else means the file
+      // is not a flow CSV at all, so don't guess at its rows.
+      if (line != kHeader) {
+        result.errors.push_back(
+            {result.lines_read,
+             "expected header '" + std::string(kHeader) + "', got '" + line +
+                 "'"});
+        return result;
+      }
+      header_seen = true;
+      continue;
     }
-    FlowRecord f;
-    f.start_time = parse_number<TimeNs>(row[0], "start_ns");
-    f.src = GpuId(parse_number<std::uint32_t>(row[1], "src"));
-    f.dst = GpuId(parse_number<std::uint32_t>(row[2], "dst"));
-    f.bytes = parse_number<std::uint64_t>(row[3], "bytes");
-    f.duration = parse_number<DurationNs>(row[4], "duration_ns");
-    f.switches = parse_switches(row[5]);
-    trace.add(std::move(f));
+    std::vector<std::string> row;
+    try {
+      row = csv::parse_line(line);
+    } catch (const std::exception& e) {
+      result.errors.push_back({result.lines_read, e.what()});
+      continue;
+    }
+    if (row.size() != 6) {
+      result.errors.push_back({result.lines_read, "expected 6 fields, got " +
+                                                      std::to_string(row.size())});
+      continue;
+    }
+    try {
+      FlowRecord f;
+      f.start_time = parse_number<TimeNs>(row[0], "start_ns");
+      f.src = GpuId(parse_number<std::uint32_t>(row[1], "src"));
+      f.dst = GpuId(parse_number<std::uint32_t>(row[2], "dst"));
+      f.bytes = parse_number<std::uint64_t>(row[3], "bytes");
+      f.duration = parse_number<DurationNs>(row[4], "duration_ns");
+      f.switches = parse_switches(row[5]);
+      result.trace.add(std::move(f));
+    } catch (const std::exception& e) {
+      result.errors.push_back({result.lines_read, e.what()});
+    }
   }
-  return trace;
+  if (!header_seen) {
+    result.errors.push_back(
+        {result.lines_read, "empty input (missing header)"});
+  }
+  return result;
+}
+
+FlowTrace read_csv(std::istream& is) {
+  ParseResult result = read_csv_checked(is);
+  if (!result.ok()) {
+    const ParseError& first = result.errors.front();
+    std::string message =
+        "flow csv: line " + std::to_string(first.line) + ": " + first.message;
+    if (result.errors.size() > 1) {
+      message += " (+" + std::to_string(result.errors.size() - 1) +
+                 " more bad lines)";
+    }
+    throw std::runtime_error(message);
+  }
+  return std::move(result.trace);
 }
 
 void write_csv_file(const std::string& path, const FlowTrace& trace) {

@@ -1,6 +1,8 @@
 #include "llmprism/simulator/noise.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace llmprism {
@@ -15,8 +17,52 @@ struct PairDegradation {
 
 }  // namespace
 
+std::vector<std::string> NoiseConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto check_prob = [&errors](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      errors.push_back("noise: " + std::string(name) +
+                       " must be in [0, 1], got " + std::to_string(p));
+    }
+  };
+  check_prob(drop_rate, "drop_rate");
+  check_prob(duplicate_rate, "duplicate_rate");
+  check_prob(size_jitter_rate, "size_jitter_rate");
+  check_prob(partial_record_rate, "partial_record_rate");
+  check_prob(degraded_pair_fraction, "degraded_pair_fraction");
+  check_prob(truncation_prob_min, "truncation_prob_min");
+  check_prob(truncation_prob_max, "truncation_prob_max");
+  if (truncation_prob_min > truncation_prob_max) {
+    errors.push_back(
+        "noise: truncation_prob_min must not exceed truncation_prob_max, got " +
+        std::to_string(truncation_prob_min) + " > " +
+        std::to_string(truncation_prob_max));
+  }
+  if (size_jitter_frac < 0.0) {
+    errors.push_back("noise: size_jitter_frac must be >= 0, got " +
+                     std::to_string(size_jitter_frac));
+  }
+  if (time_jitter < 0) {
+    errors.push_back("noise: time_jitter must be >= 0, got " +
+                     std::to_string(time_jitter));
+  }
+  if (burst_gap < 0) {
+    errors.push_back("noise: burst_gap must be >= 0, got " +
+                     std::to_string(burst_gap));
+  }
+  return errors;
+}
+
 FlowTrace apply_noise(const FlowTrace& trace, const NoiseConfig& config,
                       Rng& rng) {
+  if (const auto errors = config.validate(); !errors.empty()) {
+    std::string message = "invalid noise configuration:";
+    for (const std::string& e : errors) {
+      message += "\n  - ";
+      message += e;
+    }
+    throw std::invalid_argument(message);
+  }
   if (!config.enabled()) {
     FlowTrace copy = trace;
     copy.sort();

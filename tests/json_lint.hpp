@@ -169,4 +169,67 @@ class JsonLinter {
   return JsonLinter(text).lint();
 }
 
+/// True iff `text` is a valid JSON object that declares `key` at its top
+/// level (depth-1 scan, string-literal aware). Used to enforce the export
+/// contract that every document carries "schema_version".
+[[nodiscard]] inline bool json_object_has_key(std::string_view text,
+                                              std::string_view key) {
+  if (!JsonLinter(text).lint()) return false;
+  std::size_t pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                  text[pos]))) {
+    ++pos;
+  }
+  if (pos >= text.size() || text[pos] != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool expecting_key = false;  ///< next depth-1 string is an object key
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (in_string) {
+      if (c == '\\') {
+        ++pos;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '{':
+        ++depth;
+        expecting_key = depth == 1;
+        break;
+      case '}':
+      case ']':
+        --depth;
+        break;
+      case '[':
+        ++depth;
+        break;
+      case ',':
+        expecting_key = depth == 1;
+        break;
+      case '"': {
+        if (depth == 1 && expecting_key &&
+            text.substr(pos + 1, key.size()) == key &&
+            pos + 1 + key.size() < text.size() &&
+            text[pos + 1 + key.size()] == '"') {
+          return true;
+        }
+        in_string = true;
+        expecting_key = false;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+/// The export contract: a valid JSON object carrying "schema_version".
+[[nodiscard]] inline bool is_versioned_json(std::string_view text) {
+  return json_object_has_key(text, "schema_version");
+}
+
 }  // namespace llmprism::testing

@@ -451,5 +451,70 @@ TEST(FlowIoTest, FileRoundTrip) {
   EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// read_csv_checked: non-throwing parse with editor-accurate diagnostics.
+
+TEST(FlowIoCheckedTest, ReportsPhysicalLineNumbers) {
+  // Line 1: header. Line 2: blank (counts toward numbering). Line 3: bad
+  // field. Line 4: good row. Line 5: wrong field count.
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n"
+      "\n"
+      "1,2,3,abc,5,\n"
+      "10,2,3,4,5,\n"
+      "1,2,3\n");
+  const ParseResult result = read_csv_checked(is);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.lines_read, 5u);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line, 3u);
+  EXPECT_NE(result.errors[0].message.find("bytes"), std::string::npos);
+  EXPECT_EQ(result.errors[1].line, 5u);
+  EXPECT_NE(result.errors[1].message.find("expected 6 fields"),
+            std::string::npos);
+  // The good row between the bad ones is still parsed.
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].start_time, 10);
+}
+
+TEST(FlowIoCheckedTest, CrlfLinesParse) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\r\n1,2,3,4,5,\r\n");
+  const ParseResult result = read_csv_checked(is);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].duration, 5);
+}
+
+TEST(FlowIoCheckedTest, MissingHeaderIsAnError) {
+  std::istringstream empty("");
+  const ParseResult none = read_csv_checked(empty);
+  ASSERT_EQ(none.errors.size(), 1u);
+  EXPECT_NE(none.errors[0].message.find("missing header"), std::string::npos);
+
+  // A non-header first line stops the parse: the file is not a flow CSV.
+  std::istringstream wrong("time,from,to\n1,2,3,4,5,\n");
+  const ParseResult bad = read_csv_checked(wrong);
+  ASSERT_EQ(bad.errors.size(), 1u);
+  EXPECT_EQ(bad.errors[0].line, 1u);
+  EXPECT_NE(bad.errors[0].message.find("expected header"), std::string::npos);
+  EXPECT_TRUE(bad.trace.empty());
+}
+
+TEST(FlowIoCheckedTest, ThrowingWrapperNamesFirstBadLine) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n"
+      "1,x,3,4,5,\n"
+      "1,2,3\n");
+  try {
+    (void)read_csv(is);
+    FAIL() << "read_csv must throw on malformed input";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("+1 more bad lines"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace llmprism

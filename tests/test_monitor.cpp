@@ -345,5 +345,53 @@ TEST(OnlineMonitorEdgeTest, StableIdPersistsWhenJobSkipsAWindow) {
   EXPECT_EQ(monitor.stats().job_windows.at(id_b), 3u);
 }
 
+TEST(OnlineMonitorEdgeTest, StableIdRecycledWhenMachineSetShrinksAndReturns) {
+  const auto topology = tiny_topology();
+  OnlineMonitor monitor(topology, tiny_config(kSecond, 0));
+  FlowTrace batch;
+  // Window 0: machines {0,1,2}. Window 1: the job shrinks to {0,1} — a
+  // different identity. Window 2: the full set returns and must get its
+  // original id back, not a third one.
+  batch.add(flow_at(0, 0, 2));
+  batch.add(flow_at(10 * kMillisecond, 2, 4));
+  batch.add(flow_at(kSecond + 100 * kMillisecond, 0, 2));
+  batch.add(flow_at(2 * kSecond + 100 * kMillisecond, 0, 2));
+  batch.add(flow_at(2 * kSecond + 200 * kMillisecond, 2, 4));
+  batch.add(flow_at(3 * kSecond + 500 * kMillisecond, 0, 2));  // watermark
+  const auto ticks = monitor.ingest(batch);
+
+  ASSERT_EQ(ticks.size(), 3u);
+  ASSERT_EQ(ticks[0].job_ids.size(), 1u);
+  ASSERT_EQ(ticks[1].job_ids.size(), 1u);
+  ASSERT_EQ(ticks[2].job_ids.size(), 1u);
+  const MonitorJobId full = ticks[0].job_ids[0];
+  const MonitorJobId shrunk = ticks[1].job_ids[0];
+  EXPECT_NE(full, shrunk);
+  EXPECT_EQ(ticks[2].job_ids[0], full);
+  EXPECT_EQ(monitor.stats().stable_ids_created, 2u);
+  EXPECT_EQ(monitor.stats().job_windows.at(full), 2u);
+  EXPECT_EQ(monitor.stats().job_windows.at(shrunk), 1u);
+}
+
+TEST(OnlineMonitorEdgeTest, SteadyTrafficMintsOneStableIdWithCarry) {
+  const auto topology = tiny_topology();
+  MonitorConfig cfg = tiny_config(kSecond, 0);
+  ASSERT_TRUE(cfg.carry_state) << "the session engine is the default";
+  OnlineMonitor monitor(topology, cfg);
+  FlowTrace batch;
+  for (TimeNs t = 0; t < 4 * kSecond + kSecond / 2; t += 100 * kMillisecond) {
+    batch.add(flow_at(t, 0, 2));
+  }
+  const auto ticks = monitor.ingest(batch);
+
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_EQ(monitor.stats().stable_ids_created, 1u);
+  const PrismSession* session = monitor.session();
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->counters().jobs_created, 1u);
+  EXPECT_EQ(session->counters().jobs_reused, 3u);
+  EXPECT_GE(session->counters().recognition_reuses, 3u);
+}
+
 }  // namespace
 }  // namespace llmprism

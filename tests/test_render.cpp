@@ -71,7 +71,7 @@ TEST(RenderChartTest, EmptyInput) {
   EXPECT_EQ(render_timeline_chart({}), "(no timelines)\n");
 }
 
-TEST(WriteTimelineJsonTest, OneLinePerEvent) {
+TEST(WriteTimelineJsonTest, SchemaHeaderThenOneLinePerEvent) {
   const auto t = sample_timeline();
   const std::vector<GpuTimeline> ts{t};
   std::ostringstream oss;
@@ -79,7 +79,8 @@ TEST(WriteTimelineJsonTest, OneLinePerEvent) {
   const std::string json = oss.str();
   std::size_t lines = 0;
   for (const char c : json) lines += c == '\n';
-  EXPECT_EQ(lines, t.events.size());
+  EXPECT_EQ(lines, t.events.size() + 1);  // schema header + events
+  EXPECT_EQ(json.rfind("{\"schema_version\":", 0), 0u);
   EXPECT_NE(json.find("\"kind\":\"pp_send\""), std::string::npos);
   EXPECT_NE(json.find("\"peer\":7"), std::string::npos);
   // compute events have no peer field
@@ -87,7 +88,7 @@ TEST(WriteTimelineJsonTest, OneLinePerEvent) {
             std::string::npos);
 }
 
-TEST(WriteTimelineJsonTest, EveryLineParsesAsJson) {
+TEST(WriteTimelineJsonTest, EveryLineParsesAsJsonAndHeaderIsVersioned) {
   const auto t = sample_timeline();
   const std::vector<GpuTimeline> ts{t};
   std::ostringstream oss;
@@ -98,9 +99,10 @@ TEST(WriteTimelineJsonTest, EveryLineParsesAsJson) {
   while (std::getline(lines, line)) {
     EXPECT_TRUE(testing::is_valid_json(line))
         << testing::JsonLinter(line).error() << "\n" << line;
+    if (parsed == 0) EXPECT_TRUE(testing::is_versioned_json(line)) << line;
     ++parsed;
   }
-  EXPECT_EQ(parsed, t.events.size());
+  EXPECT_EQ(parsed, t.events.size() + 1);
 }
 
 TEST(WriteReportJsonTest, SerializesJobsAndAlerts) {
@@ -128,6 +130,10 @@ TEST(WriteReportJsonTest, SerializesJobsAndAlerts) {
   std::ostringstream oss;
   write_report_json(oss, report);
   const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_versioned_json(json));
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(kReportSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(json.find("\"cross_machine_clusters\":5"), std::string::npos);
   EXPECT_NE(json.find("\"layout\":{\"tp\":1,\"dp\":2,\"pp\":1"),
             std::string::npos);
@@ -142,7 +148,7 @@ TEST(WriteReportJsonTest, EmptyReport) {
   std::ostringstream oss;
   write_report_json(oss, PrismReport{});
   EXPECT_NE(oss.str().find("\"jobs\":[]"), std::string::npos);
-  EXPECT_TRUE(testing::is_valid_json(oss.str()));
+  EXPECT_TRUE(testing::is_versioned_json(oss.str()));
 }
 
 TEST(WriteReportJsonTest, SerializesTelemetryBlock) {

@@ -16,8 +16,7 @@
 #include <sstream>
 #include <string>
 
-#include "llmprism/flow/io.hpp"
-#include "llmprism/simulator/cluster_sim.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 
@@ -104,6 +103,11 @@ int main(int argc, char** argv) {
     }
     cfg.noise.degraded_pair_fraction = degraded;
     cfg.noise.drop_rate = drop;
+    if (const auto errors = cfg.noise.validate(); !errors.empty()) {
+      std::cerr << "gen_trace: invalid noise configuration:\n";
+      for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
+      return 2;
+    }
 
     const ClusterSimResult sim = run_cluster_sim(cfg);
     write_csv_file(out_path, sim.trace);

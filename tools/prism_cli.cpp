@@ -9,6 +9,10 @@
 //     --machines-per-leaf N (default 16)
 //     --spines N            (default 4)
 //     --window SECONDS      analyze only the first SECONDS of the trace
+//     --monitor-window S    stream the trace through the OnlineMonitor in
+//                           S-second analysis windows instead of one shot
+//     --no-carry            with --monitor-window: disable the warm session
+//                           (stateless, window-independent analysis)
 //     --json                emit the report as JSON instead of text
 //     --timelines           include per-rank timeline lanes in text output
 //     --no-reconstruct      skip timeline reconstruction (faster)
@@ -16,18 +20,15 @@
 //     --metrics-out FILE    dump the metrics registry after analysis
 //                           (Prometheus text; .json suffix -> JSON snapshot)
 //     --trace-out FILE      record pipeline spans, write Chrome trace JSON
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 
-#include "llmprism/common/log.hpp"
-#include "llmprism/core/prism.hpp"
-#include "llmprism/core/render.hpp"
-#include "llmprism/flow/io.hpp"
-#include "llmprism/obs/metrics.hpp"
-#include "llmprism/obs/trace_span.hpp"
+#include "llmprism/llmprism.hpp"
 
 using namespace llmprism;
 
@@ -38,6 +39,8 @@ struct CliOptions {
   TopologyConfig topology{.num_machines = 0, .gpus_per_machine = 8,
                           .machines_per_leaf = 16, .num_spines = 4};
   std::optional<double> window_seconds;
+  std::optional<double> monitor_window_seconds;
+  bool carry = true;
   bool json = false;
   bool timelines = false;
   bool reconstruct = true;
@@ -49,9 +52,13 @@ void usage() {
   std::cerr
       << "usage: prism <flows.csv> [--machines N] [--gpus-per-machine N]\n"
          "             [--machines-per-leaf N] [--spines N] [--window S]\n"
+         "             [--monitor-window S] [--no-carry]\n"
          "             [--json] [--timelines] [--no-reconstruct]\n"
          "             [--log-level debug|info|warn|error|off]\n"
          "             [--metrics-out FILE] [--trace-out FILE]\n"
+         "  --monitor-window streams the trace through the online monitor\n"
+         "    in S-second windows (warm cross-window session by default;\n"
+         "    --no-carry switches to stateless per-window analysis)\n"
          "  --metrics-out writes the self-telemetry registry after analysis\n"
          "    (Prometheus text exposition; a .json suffix selects the JSON\n"
          "    snapshot instead)\n"
@@ -94,6 +101,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = need_value(i);
       if (!v) return std::nullopt;
       options.window_seconds = std::stod(v);
+    } else if (arg == "--monitor-window") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.monitor_window_seconds = std::stod(v);
+    } else if (arg == "--no-carry") {
+      options.carry = false;
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--timelines") {
@@ -142,13 +155,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  FlowTrace trace;
-  try {
-    trace = read_csv_file(options->trace_path);
-  } catch (const std::exception& e) {
-    std::cerr << "prism: " << e.what() << '\n';
+  std::ifstream in(options->trace_path);
+  if (!in) {
+    std::cerr << "prism: cannot open " << options->trace_path << '\n';
     return 1;
   }
+  ParseResult parsed = read_csv_checked(in);
+  if (!parsed.ok()) {
+    constexpr std::size_t kMaxDiagnostics = 10;
+    const std::size_t shown =
+        std::min(parsed.errors.size(), kMaxDiagnostics);
+    for (std::size_t e = 0; e < shown; ++e) {
+      std::cerr << "prism: " << options->trace_path << ':'
+                << parsed.errors[e].line << ": " << parsed.errors[e].message
+                << '\n';
+    }
+    if (parsed.errors.size() > shown) {
+      std::cerr << "prism: ... and " << parsed.errors.size() - shown
+                << " more bad lines\n";
+    }
+    return 1;
+  }
+  FlowTrace trace = std::move(parsed.trace);
   trace.sort();
   if (trace.empty()) {
     std::cerr << "prism: trace is empty\n";
@@ -174,9 +202,88 @@ int main(int argc, char** argv) {
     const auto topology = ClusterTopology::build(topo_config);
     PrismConfig prism_config;
     prism_config.reconstruct_timelines = options->reconstruct;
-    const Prism prism(topology, prism_config);
+    if (const auto errors = prism_config.validate(); !errors.empty()) {
+      std::cerr << "prism: invalid configuration:\n";
+      for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
+      return 2;
+    }
     if (!options->trace_out.empty()) obs::TraceCollector::instance().enable();
-    const PrismReport report = prism.analyze(trace);
+
+    PrismReport report;
+    if (options->monitor_window_seconds) {
+      MonitorConfig monitor_config;
+      monitor_config.prism = prism_config;
+      monitor_config.window = from_seconds(*options->monitor_window_seconds);
+      monitor_config.carry_state = options->carry;
+      if (const auto errors = monitor_config.validate(); !errors.empty()) {
+        std::cerr << "prism: invalid monitor configuration:\n";
+        for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
+        return 2;
+      }
+      OnlineMonitor monitor(topology, monitor_config);
+      std::vector<MonitorTick> ticks = monitor.ingest(trace);
+      if (auto tail = monitor.flush()) ticks.push_back(std::move(*tail));
+      for (const MonitorTick& tick : ticks) {
+        if (options->json) {
+          write_report_json(std::cout, tick.report);
+          continue;
+        }
+        std::size_t alerts = 0;
+        for (const JobAnalysis& job : tick.report.jobs) {
+          alerts += job.step_alerts.size() + job.group_alerts.size();
+        }
+        std::cout << "window [" << to_seconds(tick.window.begin) << "s, "
+                  << to_seconds(tick.window.end) << "s): "
+                  << tick.report.telemetry.flows_total << " flows, "
+                  << tick.report.jobs.size() << " jobs, " << alerts
+                  << " job alerts\n";
+      }
+      if (!options->json) {
+        const MonitorStats& stats = monitor.stats();
+        std::cout << "\nmonitor: " << stats.windows_completed
+                  << " windows, " << stats.flows_ingested
+                  << " flows ingested (" << stats.flows_dropped_late
+                  << " dropped late), " << stats.stable_ids_created
+                  << " stable job ids, " << stats.step_alerts << " step / "
+                  << stats.group_alerts << " group alerts\n";
+        if (const PrismSession* session = monitor.session()) {
+          const SessionCounters& c = session->counters();
+          std::cout << "session: recognition " << c.recognition_reuses
+                    << " reused / " << c.recognition_rebuilds
+                    << " rebuilt, pairs " << c.pairs_reused << " reused / "
+                    << c.pairs_reclassified << " reclassified, boundary "
+                    << c.boundary_steps_held << " held / "
+                    << c.boundary_steps_carried << " carried, "
+                    << c.ewma_step_alerts << " ewma alerts, "
+                    << session->jobs_tracked() << " jobs tracked\n";
+        }
+      }
+      if (!options->trace_out.empty()) {
+        obs::TraceCollector::instance().disable();
+        std::ofstream out(options->trace_out);
+        if (!out) {
+          std::cerr << "prism: cannot write " << options->trace_out << '\n';
+          return 1;
+        }
+        obs::TraceCollector::instance().write_chrome_trace(out);
+      }
+      if (!options->metrics_out.empty()) {
+        std::ofstream out(options->metrics_out);
+        if (!out) {
+          std::cerr << "prism: cannot write " << options->metrics_out << '\n';
+          return 1;
+        }
+        if (options->metrics_out.ends_with(".json")) {
+          obs::default_registry().write_json(out);
+        } else {
+          obs::default_registry().write_prometheus(out);
+        }
+      }
+      return 0;
+    }
+
+    const Prism prism(topology, prism_config);
+    report = prism.analyze(trace);
     if (!options->trace_out.empty()) {
       obs::TraceCollector::instance().disable();
       std::ofstream out(options->trace_out);
