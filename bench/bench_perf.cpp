@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "llmprism/bocd/bocd.hpp"
 #include "llmprism/common/disjoint_set.hpp"
@@ -14,6 +17,8 @@
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/timeline.hpp"
+#include "llmprism/flow/io.hpp"
+#include "llmprism/flow/lft.hpp"
 #include "llmprism/obs/metrics.hpp"
 #include "llmprism/obs/trace_span.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
@@ -217,6 +222,85 @@ void BM_FlowMergeSorted(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * sim.trace.size()));
 }
 BENCHMARK(BM_FlowMergeSorted)->Arg(2)->Arg(8);
+
+// --- trace ingest ----------------------------------------------------------
+// The collector hand-off: one multi-tenant trace serialized once, decoded
+// many ways. BM_ReadCsvParallel sweeps the decoder's thread count (the
+// speedup at 4 threads vs 1 is the tracked number); BM_ReadLft* pin the
+// binary format's stream and zero-copy paths against it.
+
+const std::string& shared_csv_text() {
+  static const std::string text = [] {
+    std::ostringstream os;
+    write_csv(os, shared_multi_job_cluster().trace);
+    return std::move(os).str();
+  }();
+  return text;
+}
+
+const std::string& shared_lft_bytes() {
+  static const std::string bytes = [] {
+    std::ostringstream os(std::ios::binary);
+    write_lft(os, shared_multi_job_cluster().trace);
+    return std::move(os).str();
+  }();
+  return bytes;
+}
+
+void BM_ReadCsvParallel(benchmark::State& state) {
+  const std::string& text = shared_csv_text();
+  CsvParseOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  options.min_chunk_bytes = 64 * 1024;  // fan out even on this ~MB input
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    const ParseResult result = read_csv_checked(text, options);
+    flows = result.trace.size();
+    benchmark::DoNotOptimize(&result.trace);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * flows));
+  state.counters["flows"] = static_cast<double>(flows);
+}
+BENCHMARK(BM_ReadCsvParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ReadLftStream(benchmark::State& state) {
+  const std::string& bytes = shared_lft_bytes();
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    std::istringstream is(bytes, std::ios::binary);
+    const FlowTrace trace = read_lft(is);
+    flows = trace.size();
+    benchmark::DoNotOptimize(&trace);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * flows));
+}
+BENCHMARK(BM_ReadLftStream);
+
+void BM_ReadLftMmap(benchmark::State& state) {
+  // Zero-copy load: map + validate (the checksum walks every byte, so the
+  // pages are hot and the columns usable) without materializing records.
+  const std::string& bytes = shared_lft_bytes();
+  const std::string path = [&bytes] {
+    std::string p = "/tmp/llmprism_bench_ingest.lft";
+    std::ofstream os(p, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }();
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    const MappedFlowTrace mapped(path);
+    flows = mapped.size();
+    benchmark::DoNotOptimize(mapped.start_ns().data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * flows));
+}
+BENCHMARK(BM_ReadLftMmap);
 
 // --- self-telemetry overhead ----------------------------------------------
 // The pipeline is annotated unconditionally, so these pin the per-event

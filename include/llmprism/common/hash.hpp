@@ -1,0 +1,107 @@
+// xxHash64 — the integrity checksum of the binary flow-trace format (LFT).
+//
+// XXH64 is the standard pick for trace-file checksums (Perfetto, zstd
+// frames, ...): non-cryptographic, a handful of multiplies and rotates per
+// 32-byte stripe, so it never becomes the ingest bottleneck it is meant to
+// guard. Implemented here from the public specification — one function, no
+// streaming state — because the repo takes no external dependencies.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace llmprism {
+
+namespace detail {
+
+inline constexpr std::uint64_t kXxhPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr std::uint64_t kXxhPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kXxhPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr std::uint64_t kXxhPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr std::uint64_t kXxhPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t xxh_read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // format and hosts are little-endian (see flow/lft.hpp)
+}
+
+inline std::uint32_t xxh_read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t xxh_round(std::uint64_t acc, std::uint64_t lane) {
+  acc += lane * kXxhPrime2;
+  acc = std::rotl(acc, 31);
+  return acc * kXxhPrime1;
+}
+
+inline std::uint64_t xxh_merge_round(std::uint64_t hash, std::uint64_t acc) {
+  hash ^= xxh_round(0, acc);
+  return hash * kXxhPrime1 + kXxhPrime4;
+}
+
+}  // namespace detail
+
+/// XXH64 of `len` bytes at `data`. One-shot; matches the reference
+/// implementation for any (data, seed).
+[[nodiscard]] inline std::uint64_t xxhash64(const void* data, std::size_t len,
+                                            std::uint64_t seed = 0) {
+  using namespace detail;
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t hash;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kXxhPrime1 + kXxhPrime2;
+    std::uint64_t v2 = seed + kXxhPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kXxhPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, xxh_read64(p));
+      v2 = xxh_round(v2, xxh_read64(p + 8));
+      v3 = xxh_round(v3, xxh_read64(p + 16));
+      v4 = xxh_round(v4, xxh_read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    hash = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+           std::rotl(v4, 18);
+    hash = xxh_merge_round(hash, v1);
+    hash = xxh_merge_round(hash, v2);
+    hash = xxh_merge_round(hash, v3);
+    hash = xxh_merge_round(hash, v4);
+  } else {
+    hash = seed + kXxhPrime5;
+  }
+
+  hash += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    hash ^= xxh_round(0, xxh_read64(p));
+    hash = std::rotl(hash, 27) * kXxhPrime1 + kXxhPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    hash ^= static_cast<std::uint64_t>(xxh_read32(p)) * kXxhPrime1;
+    hash = std::rotl(hash, 23) * kXxhPrime2 + kXxhPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    hash ^= static_cast<std::uint64_t>(*p) * kXxhPrime5;
+    hash = std::rotl(hash, 11) * kXxhPrime1;
+    ++p;
+  }
+
+  hash ^= hash >> 33;
+  hash *= kXxhPrime2;
+  hash ^= hash >> 29;
+  hash *= kXxhPrime3;
+  hash ^= hash >> 32;
+  return hash;
+}
+
+}  // namespace llmprism

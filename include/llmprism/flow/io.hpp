@@ -3,13 +3,26 @@
 //
 //   start_ns,src,dst,bytes,duration_ns,switches
 //
-// where `switches` is a ';'-joined hop list, e.g. "3;17;4".
+// where `switches` is a ';'-joined hop list, e.g. "3;17;4". CRLF line
+// endings and a final row without a trailing newline are accepted; rows
+// with embedded NUL bytes are rejected with a per-line diagnostic.
+//
+// Parsing is chunk-parallel: the input buffer is split on newline
+// boundaries into roughly per-core chunks, each chunk is decoded with
+// allocation-free std::from_chars field parsing on the common thread pool,
+// and the chunks are stitched back in file order. The result — trace
+// order, error lines/messages, lines_read — is bit-identical to the
+// serial (one-chunk) parse at every thread count, and a time-sorted file
+// yields a born-sorted trace (the chunk traces are sorted runs whose
+// ordered concatenation keeps the sortedness cache intact; zero physical
+// sorts). The binary counterpart of this format lives in flow/lft.hpp.
 #pragma once
 
 #include <cstddef>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "llmprism/flow/trace.hpp"
@@ -39,19 +52,38 @@ struct ParseResult {
   [[nodiscard]] bool ok() const { return errors.empty(); }
 };
 
+/// Tuning knobs for the chunk-parallel CSV decoder. The defaults fan out
+/// over the hardware; every setting yields bit-identical ParseResults
+/// (enforced by tests/test_csv_parallel.cpp).
+struct CsvParseOptions {
+  /// Threads for chunked parsing, PrismConfig-style: 0 = one per hardware
+  /// thread, 1 = the serial reference path, N = exactly N.
+  std::size_t num_threads = 0;
+  /// Minimum bytes per chunk: inputs smaller than num_threads * this use
+  /// fewer chunks (possibly one) — fan-out overhead only pays past it.
+  std::size_t min_chunk_bytes = 256 * 1024;
+};
+
 /// Parse a CSV flow trace without throwing on malformed rows: bad rows are
-/// reported in `errors` (1-based line numbers) and skipped. A missing
-/// header is itself an error (no rows are parsed without one).
-[[nodiscard]] ParseResult read_csv_checked(std::istream& is);
+/// reported in `errors` (1-based physical line numbers) and skipped. A
+/// missing header is itself an error (no rows are parsed without one).
+[[nodiscard]] ParseResult read_csv_checked(std::string_view buffer,
+                                           const CsvParseOptions& options = {});
+
+/// Stream variant: slurps the stream, then parses the buffer as above.
+[[nodiscard]] ParseResult read_csv_checked(std::istream& is,
+                                           const CsvParseOptions& options = {});
 
 /// Parse a CSV flow trace (header row required). Thin wrapper over
 /// read_csv_checked() that throws std::runtime_error naming the first bad
 /// line on any malformed input.
-[[nodiscard]] FlowTrace read_csv(std::istream& is);
+[[nodiscard]] FlowTrace read_csv(std::istream& is,
+                                 const CsvParseOptions& options = {});
 
 /// Convenience file wrappers; throw std::runtime_error if the file cannot
 /// be opened.
 void write_csv_file(const std::string& path, const FlowTrace& trace);
-[[nodiscard]] FlowTrace read_csv_file(const std::string& path);
+[[nodiscard]] FlowTrace read_csv_file(const std::string& path,
+                                      const CsvParseOptions& options = {});
 
 }  // namespace llmprism

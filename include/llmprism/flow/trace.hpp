@@ -38,6 +38,11 @@ class FlowTrace {
   /// unknown until the next verify or sort.
   void append(const FlowTrace& other);
 
+  /// Move-append: same sortedness semantics, but `other`'s storage is
+  /// stolen (wholesale when this trace is empty). Used by the parallel
+  /// CSV decoder to stitch per-chunk traces without copying records.
+  void append(FlowTrace&& other);
+
   /// Sort by start time (ordering via FlowStartTimeLess). No-op on a
   /// trace that is already sorted; a physical sort increments the
   /// process-wide `llmprism_flowtrace_sorts_total` counter.

@@ -47,6 +47,26 @@ void FlowTrace::append(const FlowTrace& other) {
   flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
 }
 
+void FlowTrace::append(FlowTrace&& other) {
+  if (other.flows_.empty()) return;
+  if (flows_.empty() && flows_.capacity() < other.flows_.size()) {
+    flows_ = std::move(other.flows_);
+    sorted_ = other.sorted_;
+  } else {
+    if (sorted_ &&
+        !(other.sorted_ &&
+          (flows_.empty() ||
+           !FlowStartTimeLess{}(other.flows_.front(), flows_.back())))) {
+      sorted_ = false;
+    }
+    flows_.insert(flows_.end(),
+                  std::make_move_iterator(other.flows_.begin()),
+                  std::make_move_iterator(other.flows_.end()));
+  }
+  other.flows_.clear();
+  other.sorted_ = true;
+}
+
 void FlowTrace::sort() {
   // Touch the counter handle even on the no-op path so the metric is
   // registered (and exported as 0) as soon as any trace enters the

@@ -486,6 +486,42 @@ TEST(FlowIoCheckedTest, CrlfLinesParse) {
   EXPECT_EQ(result.trace[0].duration, 5);
 }
 
+TEST(FlowIoCheckedTest, FinalRowWithoutNewlineParses) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n1,2,3,4,5,3;17");
+  const ParseResult result = read_csv_checked(is);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.lines_read, 2u);
+  ASSERT_EQ(result.trace.size(), 1u);
+  ASSERT_EQ(result.trace[0].switches.size(), 2u);
+  EXPECT_EQ(result.trace[0].switches[1], SwitchId(17));
+}
+
+TEST(FlowIoCheckedTest, EmbeddedNulIsRejectedPerLine) {
+  std::string in =
+      "start_ns,src,dst,bytes,duration_ns,switches\n"
+      "1,2,3,4,5,\n";
+  in += std::string("6,7,8,9,") + '\0' + ",\n";  // line 3: NUL inside a row
+  in += "10,2,3,4,5,\n";
+  const ParseResult result = read_csv_checked(in);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 3u);
+  EXPECT_NE(result.errors[0].message.find("NUL"), std::string::npos);
+  // Rows around the poisoned one still parse.
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace[1].start_time, 10);
+}
+
+TEST(FlowIoCheckedTest, TooManySwitchHopsIsRejected) {
+  std::istringstream is(
+      "start_ns,src,dst,bytes,duration_ns,switches\n1,2,3,4,5,1;2;3;4;5\n");
+  const ParseResult result = read_csv_checked(is);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("too many switch hops"),
+            std::string::npos);
+  EXPECT_TRUE(result.trace.empty());
+}
+
 TEST(FlowIoCheckedTest, MissingHeaderIsAnError) {
   std::istringstream empty("");
   const ParseResult none = read_csv_checked(empty);

@@ -1,15 +1,16 @@
-// gen_trace — generate a synthetic multi-tenant flow-trace CSV (the input
-// format `prism` consumes), for demos, fuzzing downstream tooling, or
-// load-testing a collector pipeline.
+// gen_trace — generate a synthetic multi-tenant flow trace (the input
+// `prism` consumes) as CSV or binary LFT, for demos, fuzzing downstream
+// tooling, or load-testing a collector pipeline.
 //
 // Usage:
-//   gen_trace <out.csv> [options]
+//   gen_trace <out.csv|out.lft> [options]
 //     --machines N       cluster size (default 32)
 //     --jobs SPEC[,SPEC] job list; SPEC = tp:dp:pp[:steps[:zero]]
 //                        (default "8:2:2:10,8:4:1:10")
 //     --seed N           (default 42)
 //     --degraded F       fraction of degraded pairs (collection noise)
 //     --drop F           i.i.d. flow drop rate
+//     --format csv|lft   output format (default: by extension, .lft -> lft)
 //   Prints the ground truth (jobs, layouts) to stderr for comparison.
 #include <cstring>
 #include <iostream>
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   double degraded = 0.0;
   double drop = 0.0;
+  std::string format;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -76,6 +78,13 @@ int main(int argc, char** argv) {
         degraded = std::stod(value());
       } else if (arg == "--drop") {
         drop = std::stod(value());
+      } else if (arg == "--format") {
+        format = value();
+        if (format != "csv" && format != "lft") {
+          std::cerr << "gen_trace: unknown format " << format
+                    << " (want csv or lft)\n";
+          return 2;
+        }
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "gen_trace: unknown option " << arg << '\n';
         return 2;
@@ -88,9 +97,13 @@ int main(int argc, char** argv) {
     }
   }
   if (out_path.empty()) {
-    std::cerr << "usage: gen_trace <out.csv> [--machines N] [--jobs SPEC]\n"
-                 "                 [--seed N] [--degraded F] [--drop F]\n";
+    std::cerr << "usage: gen_trace <out.csv|out.lft> [--machines N]\n"
+                 "                 [--jobs SPEC] [--seed N] [--degraded F]\n"
+                 "                 [--drop F] [--format csv|lft]\n";
     return 2;
+  }
+  if (format.empty()) {
+    format = out_path.ends_with(".lft") ? "lft" : "csv";
   }
 
   try {
@@ -110,9 +123,13 @@ int main(int argc, char** argv) {
     }
 
     const ClusterSimResult sim = run_cluster_sim(cfg);
-    write_csv_file(out_path, sim.trace);
+    if (format == "lft") {
+      write_lft_file(out_path, sim.trace);
+    } else {
+      write_csv_file(out_path, sim.trace);
+    }
     std::cout << "wrote " << sim.trace.size() << " flows to " << out_path
-              << '\n';
+              << " (" << format << ")\n";
 
     std::cerr << "ground truth (" << sim.jobs.size() << " jobs):\n";
     for (std::size_t j = 0; j < sim.jobs.size(); ++j) {

@@ -1,8 +1,9 @@
-// prism — command-line front end: analyze a flow-trace CSV end-to-end and
-// print (or export as JSON) the full diagnosis report.
+// prism — command-line front end: analyze a flow trace (CSV or binary LFT,
+// auto-detected by magic) end-to-end and print (or export as JSON) the full
+// diagnosis report; `prism convert` translates between the two formats.
 //
 // Usage:
-//   prism <flows.csv> [options]
+//   prism <flows.csv|flows.lft> [options]
 //     --machines N          number of machines in the cluster (default:
 //                           derived from the largest GPU id in the trace)
 //     --gpus-per-machine N  (default 8)
@@ -13,6 +14,7 @@
 //                           S-second analysis windows instead of one shot
 //     --no-carry            with --monitor-window: disable the warm session
 //                           (stateless, window-independent analysis)
+//     --ingest-threads N    CSV decode threads (0 = hardware, default)
 //     --json                emit the report as JSON instead of text
 //     --timelines           include per-rank timeline lanes in text output
 //     --no-reconstruct      skip timeline reconstruction (faster)
@@ -20,8 +22,14 @@
 //     --metrics-out FILE    dump the metrics registry after analysis
 //                           (Prometheus text; .json suffix -> JSON snapshot)
 //     --trace-out FILE      record pipeline spans, write Chrome trace JSON
+//
+//   prism convert <in> <out> [--format csv|lft] [--ingest-threads N]
+//     converts between CSV and LFT (default output format: by <out>
+//     extension, .lft -> lft, else csv), preserving row order and
+//     sortedness, and prints a one-line summary (rows, bytes, ratio).
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -44,26 +52,151 @@ struct CliOptions {
   bool json = false;
   bool timelines = false;
   bool reconstruct = true;
+  std::size_t ingest_threads = 0;
   std::string metrics_out;
   std::string trace_out;
 };
 
 void usage() {
   std::cerr
-      << "usage: prism <flows.csv> [--machines N] [--gpus-per-machine N]\n"
-         "             [--machines-per-leaf N] [--spines N] [--window S]\n"
+      << "usage: prism <flows.csv|flows.lft> [--machines N]\n"
+         "             [--gpus-per-machine N] [--machines-per-leaf N]\n"
+         "             [--spines N] [--window S]\n"
          "             [--monitor-window S] [--no-carry]\n"
+         "             [--ingest-threads N]\n"
          "             [--json] [--timelines] [--no-reconstruct]\n"
          "             [--log-level debug|info|warn|error|off]\n"
          "             [--metrics-out FILE] [--trace-out FILE]\n"
+         "       prism convert <in> <out> [--format csv|lft]\n"
+         "             [--ingest-threads N]\n"
+         "  input format (CSV or binary LFT) is auto-detected by magic\n"
          "  --monitor-window streams the trace through the online monitor\n"
          "    in S-second windows (warm cross-window session by default;\n"
          "    --no-carry switches to stateless per-window analysis)\n"
+         "  --ingest-threads sets the parallel CSV decoder's thread count\n"
+         "    (0 = one per hardware thread; results are identical at any\n"
+         "    setting)\n"
          "  --metrics-out writes the self-telemetry registry after analysis\n"
          "    (Prometheus text exposition; a .json suffix selects the JSON\n"
          "    snapshot instead)\n"
          "  --trace-out records pipeline trace spans during analysis and\n"
-         "    writes Chrome trace_event JSON (open in Perfetto)\n";
+         "    writes Chrome trace_event JSON (open in Perfetto)\n"
+         "  convert translates CSV <-> LFT (default output format by\n"
+         "    extension: .lft -> lft, else csv), preserving sortedness\n";
+}
+
+/// Load a flow trace from either format, auto-detected by magic. On CSV
+/// parse errors, prints up to 10 diagnostics and returns nullopt;
+/// `format_out` is "csv" or "lft".
+std::optional<FlowTrace> load_trace(const std::string& path,
+                                    std::size_t ingest_threads,
+                                    std::string& format_out) {
+  if (is_lft_file(path)) {
+    format_out = "lft";
+    try {
+      const MappedFlowTrace mapped(path);
+      return mapped.to_trace();
+    } catch (const std::exception& e) {
+      std::cerr << "prism: " << path << ": " << e.what() << '\n';
+      return std::nullopt;
+    }
+  }
+  format_out = "csv";
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "prism: cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  ParseResult parsed = read_csv_checked(in, {.num_threads = ingest_threads});
+  if (!parsed.ok()) {
+    constexpr std::size_t kMaxDiagnostics = 10;
+    const std::size_t shown = std::min(parsed.errors.size(), kMaxDiagnostics);
+    for (std::size_t e = 0; e < shown; ++e) {
+      std::cerr << "prism: " << path << ':' << parsed.errors[e].line << ": "
+                << parsed.errors[e].message << '\n';
+    }
+    if (parsed.errors.size() > shown) {
+      std::cerr << "prism: ... and " << parsed.errors.size() - shown
+                << " more bad lines\n";
+    }
+    return std::nullopt;
+  }
+  return std::move(parsed.trace);
+}
+
+int run_convert(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  std::string format;
+  std::size_t ingest_threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "prism convert: missing value for " << arg << '\n';
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--format") {
+      const char* v = need_value();
+      if (!v) return 2;
+      format = v;
+      if (format != "csv" && format != "lft") {
+        std::cerr << "prism convert: unknown format " << format
+                  << " (want csv or lft)\n";
+        return 2;
+      }
+    } else if (arg == "--ingest-threads") {
+      const char* v = need_value();
+      if (!v) return 2;
+      ingest_threads = std::stoul(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "prism convert: unknown option " << arg << '\n';
+      return 2;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else if (out_path.empty()) {
+      out_path = arg;
+    } else {
+      std::cerr << "prism convert: unexpected argument " << arg << '\n';
+      return 2;
+    }
+  }
+  if (in_path.empty() || out_path.empty()) {
+    usage();
+    return 2;
+  }
+  if (format.empty()) {
+    format = out_path.ends_with(".lft") ? "lft" : "csv";
+  }
+
+  std::string in_format;
+  std::optional<FlowTrace> trace = load_trace(in_path, ingest_threads, in_format);
+  if (!trace) return 1;
+
+  try {
+    if (format == "lft") {
+      write_lft_file(out_path, *trace);
+    } else {
+      write_csv_file(out_path, *trace);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "prism convert: " << e.what() << '\n';
+    return 1;
+  }
+
+  std::error_code ec;
+  const auto in_bytes = std::filesystem::file_size(in_path, ec);
+  const auto out_bytes = std::filesystem::file_size(out_path, ec);
+  std::cout << "converted " << trace->size() << " flows: " << in_path << " ("
+            << in_bytes << " B, " << in_format << ") -> " << out_path << " ("
+            << out_bytes << " B, " << format << ", "
+            << (in_bytes ? static_cast<double>(out_bytes) /
+                               static_cast<double>(in_bytes)
+                         : 0.0)
+            << "x); sorted=" << (trace->is_sorted() ? "yes" : "no") << '\n';
+  return 0;
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -107,6 +240,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.monitor_window_seconds = std::stod(v);
     } else if (arg == "--no-carry") {
       options.carry = false;
+    } else if (arg == "--ingest-threads") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.ingest_threads = std::stoul(v);
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--timelines") {
@@ -149,34 +286,20 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == "convert") {
+    return run_convert(argc, argv);
+  }
   const auto options = parse_args(argc, argv);
   if (!options) {
     usage();
     return 2;
   }
 
-  std::ifstream in(options->trace_path);
-  if (!in) {
-    std::cerr << "prism: cannot open " << options->trace_path << '\n';
-    return 1;
-  }
-  ParseResult parsed = read_csv_checked(in);
-  if (!parsed.ok()) {
-    constexpr std::size_t kMaxDiagnostics = 10;
-    const std::size_t shown =
-        std::min(parsed.errors.size(), kMaxDiagnostics);
-    for (std::size_t e = 0; e < shown; ++e) {
-      std::cerr << "prism: " << options->trace_path << ':'
-                << parsed.errors[e].line << ": " << parsed.errors[e].message
-                << '\n';
-    }
-    if (parsed.errors.size() > shown) {
-      std::cerr << "prism: ... and " << parsed.errors.size() - shown
-                << " more bad lines\n";
-    }
-    return 1;
-  }
-  FlowTrace trace = std::move(parsed.trace);
+  std::string ingest_format;
+  std::optional<FlowTrace> loaded =
+      load_trace(options->trace_path, options->ingest_threads, ingest_format);
+  if (!loaded) return 1;
+  FlowTrace trace = std::move(*loaded);
   trace.sort();
   if (trace.empty()) {
     std::cerr << "prism: trace is empty\n";
@@ -310,8 +433,8 @@ int main(int argc, char** argv) {
       write_report_json(std::cout, report);
       return 0;
     }
-    std::cout << "analyzed " << trace.size() << " flows over "
-              << to_seconds(trace.span().length()) << " s on a "
+    std::cout << "analyzed " << trace.size() << " flows (" << ingest_format
+              << ") over " << to_seconds(trace.span().length()) << " s on a "
               << topology.num_gpus() << "-GPU topology\n\n"
               << render_report_summary(report);
     if (options->timelines) {
