@@ -16,6 +16,7 @@
 #include <string>
 
 #include "llmprism/common/thread_pool.hpp"
+#include "llmprism/core/attribution.hpp"
 #include "llmprism/core/comm_type.hpp"
 #include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/job_recognition.hpp"
@@ -32,9 +33,14 @@ struct PrismConfig {
   CommTypeConfig comm_type;
   TimelineConfig timeline;
   DiagnosisConfig diagnosis;
+  AttributionConfig attribution;
   /// Timeline reconstruction dominates cost; disable when only job
   /// recognition / parallelism identification is needed.
   bool reconstruct_timelines = true;
+  /// Trace every k-sigma alert back to a ranked root-cause candidate list
+  /// (see attribution.hpp). Runs after diagnosis; needs timelines, so it
+  /// is skipped when reconstruct_timelines is off.
+  bool attribute = true;
   /// Threads for the per-job analysis fan-out: 0 = one per hardware thread,
   /// 1 = the exact sequential legacy path, n = that many. The report is
   /// identical for every value (see DESIGN.md, "Concurrency model");
@@ -100,6 +106,11 @@ struct ReportTelemetry {
   std::uint64_t ksigma_points = 0;
   std::uint64_t ksigma_alerts = 0;
 
+  // ---- root-cause attribution ----
+  std::uint64_t incidents = 0;        ///< attributed incidents emitted
+  std::uint64_t alerts_explained = 0; ///< alerts some incident accounts for
+  std::uint64_t alerts_orphaned = 0;  ///< alerts no blame rule could explain
+
   ReportTelemetry& operator+=(const ReportTelemetry& other);
 };
 
@@ -110,6 +121,9 @@ struct PrismReport {
   std::vector<std::pair<SwitchId, double>> switch_bandwidth_gbps;
   std::vector<SwitchBandwidthAlert> switch_bandwidth_alerts;
   std::vector<SwitchConcurrencyAlert> switch_concurrency_alerts;
+  /// Root-cause attribution of every alert above (empty when
+  /// PrismConfig::attribute is off); see attribution.hpp.
+  AttributionResult attribution;
   /// Pipeline self-telemetry (deterministic event counts; see above).
   ReportTelemetry telemetry;
 };

@@ -32,6 +32,7 @@
 #include "llmprism/simulator/noise.hpp"
 
 // ---- the analysis pipeline (the paper's contribution) ----
+#include "llmprism/core/attribution.hpp"
 #include "llmprism/core/comm_type.hpp"
 #include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/job_recognition.hpp"

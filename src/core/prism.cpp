@@ -24,6 +24,9 @@ struct PrismMetrics {
   obs::Counter& flows_routed;
   obs::Counter& flows_routed_via_dst;
   obs::Counter& flows_unattributed;
+  obs::Counter& incidents;
+  obs::Counter& alerts_explained;
+  obs::Counter& alerts_orphaned;
   obs::Histogram& analyze_seconds;
 };
 
@@ -42,6 +45,15 @@ PrismMetrics& prism_metrics() {
       obs::default_registry().counter(
           "llmprism_flows_unattributed_total",
           "Flows no recognized job claims"),
+      obs::default_registry().counter(
+          "llmprism_incidents_total",
+          "Attributed root-cause incidents emitted"),
+      obs::default_registry().counter(
+          "llmprism_alerts_explained_total",
+          "k-sigma alerts an attributed incident accounts for"),
+      obs::default_registry().counter(
+          "llmprism_alerts_orphaned_total",
+          "k-sigma alerts no blame-propagation rule could explain"),
       obs::default_registry().histogram(
           "llmprism_analyze_seconds",
           "Wall-clock duration of Prism::analyze"),
@@ -167,6 +179,19 @@ std::vector<std::string> PrismConfig::validate() const {
         "diagnosis: switch_health_percentile must be in [0, 100], got " +
         std::to_string(diagnosis.switch_health_percentile));
   }
+  if (attribution.min_compute_excess < 0.0) {
+    errors.push_back("attribution: min_compute_excess must be >= 0, got " +
+                     std::to_string(attribution.min_compute_excess));
+  }
+  if (!(attribution.origin_cluster_ratio > 0.0) ||
+      attribution.origin_cluster_ratio > 1.0) {
+    errors.push_back(
+        "attribution: origin_cluster_ratio must be in (0, 1], got " +
+        std::to_string(attribution.origin_cluster_ratio));
+  }
+  if (attribution.max_culprits == 0) {
+    errors.push_back("attribution: max_culprits must be >= 1");
+  }
   return errors;
 }
 
@@ -191,6 +216,9 @@ ReportTelemetry& ReportTelemetry::operator+=(const ReportTelemetry& other) {
   ksigma_series += other.ksigma_series;
   ksigma_points += other.ksigma_points;
   ksigma_alerts += other.ksigma_alerts;
+  incidents += other.incidents;
+  alerts_explained += other.alerts_explained;
+  alerts_orphaned += other.alerts_orphaned;
   return *this;
 }
 
@@ -418,6 +446,34 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   report.telemetry.ksigma_points += switch_stats.points;
   report.telemetry.ksigma_alerts += switch_stats.alerts;
 
+  // (5) root-cause attribution: propagate blame backwards from every
+  // alert over the recovered dependency graph. Sequential over the
+  // already-merged per-job results, so it is trivially thread-count-
+  // invariant (the fan-out above produced identical inputs).
+  if (config_.attribute && config_.reconstruct_timelines) {
+    const obs::Span span("prism.attribute");
+    std::vector<JobAttributionInput> inputs;
+    inputs.reserve(num_jobs);
+    for (const JobAnalysis& job : report.jobs) {
+      inputs.push_back(JobAttributionInput{
+          .id = job.id,
+          .trace = &job.trace,
+          .comm_types = &job.comm_types,
+          .timelines = job.timelines,
+          .step_alerts = job.step_alerts,
+          .group_alerts = job.group_alerts});
+    }
+    const Attributor attributor(config_.attribution);
+    report.attribution =
+        attributor.attribute(inputs, report.switch_bandwidth_alerts,
+                             report.switch_concurrency_alerts);
+    report.telemetry.incidents = report.attribution.incidents.size();
+    report.telemetry.alerts_explained =
+        report.attribution.telemetry.alerts_explained;
+    report.telemetry.alerts_orphaned =
+        report.attribution.telemetry.alerts_orphaned;
+  }
+
   // Session bookkeeping: fold per-job outcomes in job-id order (so the
   // counters are scheduling-invariant), then close the window (evictions,
   // window counter, disarm).
@@ -433,6 +489,9 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   metrics.flows_routed.inc(report.telemetry.flows_routed);
   metrics.flows_routed_via_dst.inc(report.telemetry.flows_routed_via_dst);
   metrics.flows_unattributed.inc(report.telemetry.flows_unattributed);
+  metrics.incidents.inc(report.telemetry.incidents);
+  metrics.alerts_explained.inc(report.telemetry.alerts_explained);
+  metrics.alerts_orphaned.inc(report.telemetry.alerts_orphaned);
   return report;
 }
 

@@ -41,7 +41,64 @@ void write_telemetry_fields(std::ostream& os, const ReportTelemetry& t) {
      << ",\"steps_reconstructed\":" << t.steps_reconstructed
      << ",\"ksigma_series\":" << t.ksigma_series
      << ",\"ksigma_points\":" << t.ksigma_points
-     << ",\"ksigma_alerts\":" << t.ksigma_alerts;
+     << ",\"ksigma_alerts\":" << t.ksigma_alerts
+     << ",\"incidents\":" << t.incidents
+     << ",\"alerts_explained\":" << t.alerts_explained
+     << ",\"alerts_orphaned\":" << t.alerts_orphaned;
+}
+
+/// One ranked culprit as a JSON object; only the field matching its kind
+/// is emitted alongside the kind tag and score.
+void write_culprit(std::ostream& os, const Culprit& c) {
+  os << "{\"kind\":\"" << to_string(c.kind) << '"';
+  switch (c.kind) {
+    case CulpritKind::kRank:
+      os << ",\"gpu\":" << c.gpu.value();
+      break;
+    case CulpritKind::kDpGroup:
+      os << ",\"dp_group\":" << c.dp_group_index;
+      break;
+    case CulpritKind::kSwitch:
+      os << ",\"switch\":" << c.switch_id.value();
+      break;
+  }
+  os << ",\"score\":" << c.score << '}';
+}
+
+void write_victim(std::ostream& os, const Victim& v) {
+  os << '{';
+  if (v.kind == VictimKind::kStepAlert) {
+    os << "\"kind\":\"step_alert\",\"gpu\":" << v.gpu.value();
+  } else {
+    os << "\"kind\":\"group_alert\",\"dp_group\":" << v.dp_group_index;
+  }
+  if (v.job.valid()) os << ",\"job\":" << v.job.value();
+  os << ",\"step\":" << v.step_index << ",\"hops\":" << v.hops << '}';
+}
+
+void write_incident(std::ostream& os, const AttributedIncident& incident) {
+  os << '{';
+  if (incident.job.valid()) {
+    os << "\"job\":" << incident.job.value() << ",\"step_begin\":"
+       << incident.step_begin << ",\"step_end\":" << incident.step_end
+       << ',';
+  }
+  os << "\"confidence\":" << incident.confidence << ",\"culprits\":[";
+  for (std::size_t c = 0; c < incident.culprits.size(); ++c) {
+    if (c != 0) os << ',';
+    write_culprit(os, incident.culprits[c]);
+  }
+  os << "],\"victims\":[";
+  for (std::size_t v = 0; v < incident.victims.size(); ++v) {
+    if (v != 0) os << ',';
+    write_victim(os, incident.victims[v]);
+  }
+  const IncidentEvidence& e = incident.evidence;
+  os << "],\"evidence\":{\"step_alerts\":" << e.step_alerts
+     << ",\"group_alerts\":" << e.group_alerts
+     << ",\"switch_bandwidth_alerts\":" << e.switch_bandwidth_alerts
+     << ",\"switch_concurrency_alerts\":" << e.switch_concurrency_alerts
+     << "}}";
 }
 
 TimeWindow effective_window(const GpuTimeline& timeline,
@@ -192,6 +249,11 @@ void write_report_json(std::ostream& os, const PrismReport& report) {
     os << "{\"switch\":" << alert.switch_id.value() << ",\"concurrent_flows\":"
        << alert.concurrent_flows << ",\"limit\":" << alert.limit << "}";
   }
+  os << "],\"incidents\":[";
+  for (std::size_t i = 0; i < report.attribution.incidents.size(); ++i) {
+    if (i != 0) os << ',';
+    write_incident(os, report.attribution.incidents[i]);
+  }
   os << "],\"telemetry\":{";
   write_telemetry_fields(os, report.telemetry);
   os << "}}\n";
@@ -242,6 +304,35 @@ std::string render_report_summary(const PrismReport& report) {
     }
     oss << '\n';
   }
+  if (!report.attribution.incidents.empty()) {
+    oss << "  incidents:\n";
+    for (const AttributedIncident& incident : report.attribution.incidents) {
+      const Culprit& origin = incident.culprits.front();
+      oss << "    ";
+      if (incident.job.valid()) {
+        oss << "job " << incident.job << " steps " << incident.step_begin
+            << "-" << incident.step_end << ": ";
+      } else {
+        oss << "cluster: ";
+      }
+      switch (origin.kind) {
+        case CulpritKind::kRank:
+          oss << "straggler gpu " << origin.gpu;
+          break;
+        case CulpritKind::kDpGroup:
+          oss << "slow DP group " << origin.dp_group_index;
+          break;
+        case CulpritKind::kSwitch:
+          oss << "degraded switch " << origin.switch_id;
+          break;
+      }
+      oss << " (score " << origin.score << ", confidence "
+          << incident.confidence << ", " << incident.culprits.size()
+          << " culprit" << (incident.culprits.size() == 1 ? "" : "s")
+          << ", " << incident.victims.size() << " victim"
+          << (incident.victims.size() == 1 ? "" : "s") << ")\n";
+    }
+  }
   const ReportTelemetry& t = report.telemetry;
   oss << "  telemetry: " << t.flows_routed << '/' << t.flows_total
       << " flows routed (" << t.flows_routed_via_dst << " via dst, "
@@ -253,7 +344,9 @@ std::string render_report_summary(const PrismReport& report) {
       << " boundaries, " << t.bocd_hard_resets << " hard resets), "
       << t.steps_reconstructed << " steps on " << t.timelines_reconstructed
       << " timelines, k-sigma " << t.ksigma_alerts << '/' << t.ksigma_series
-      << " series alerted\n";
+      << " series alerted, " << t.incidents << " incidents ("
+      << t.alerts_explained << " alerts explained, " << t.alerts_orphaned
+      << " orphaned)\n";
   return oss.str();
 }
 

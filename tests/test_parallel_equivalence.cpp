@@ -218,6 +218,50 @@ void expect_alerts_equal(const std::vector<SwitchConcurrencyAlert>& a,
   }
 }
 
+// Attributed incidents inherit every upstream ordering guarantee: culprit
+// ranking, victim order, confidences, and the explained/orphaned counters
+// must be bit-identical regardless of thread count.
+void expect_attribution_equal(const AttributionResult& a,
+                              const AttributionResult& b) {
+  ASSERT_EQ(a.incidents.size(), b.incidents.size());
+  for (std::size_t i = 0; i < a.incidents.size(); ++i) {
+    SCOPED_TRACE("incident " + std::to_string(i));
+    const AttributedIncident& ia = a.incidents[i];
+    const AttributedIncident& ib = b.incidents[i];
+    EXPECT_EQ(ia.job, ib.job);
+    EXPECT_EQ(ia.step_begin, ib.step_begin);
+    EXPECT_EQ(ia.step_end, ib.step_end);
+    EXPECT_EQ(ia.confidence, ib.confidence);
+    ASSERT_EQ(ia.culprits.size(), ib.culprits.size());
+    for (std::size_t c = 0; c < ia.culprits.size(); ++c) {
+      SCOPED_TRACE("culprit " + std::to_string(c));
+      EXPECT_EQ(ia.culprits[c].kind, ib.culprits[c].kind);
+      EXPECT_EQ(ia.culprits[c].gpu, ib.culprits[c].gpu);
+      EXPECT_EQ(ia.culprits[c].dp_group_index, ib.culprits[c].dp_group_index);
+      EXPECT_EQ(ia.culprits[c].switch_id, ib.culprits[c].switch_id);
+      EXPECT_EQ(ia.culprits[c].score, ib.culprits[c].score);
+    }
+    ASSERT_EQ(ia.victims.size(), ib.victims.size());
+    for (std::size_t v = 0; v < ia.victims.size(); ++v) {
+      SCOPED_TRACE("victim " + std::to_string(v));
+      EXPECT_EQ(ia.victims[v].kind, ib.victims[v].kind);
+      EXPECT_EQ(ia.victims[v].job, ib.victims[v].job);
+      EXPECT_EQ(ia.victims[v].gpu, ib.victims[v].gpu);
+      EXPECT_EQ(ia.victims[v].dp_group_index, ib.victims[v].dp_group_index);
+      EXPECT_EQ(ia.victims[v].step_index, ib.victims[v].step_index);
+      EXPECT_EQ(ia.victims[v].hops, ib.victims[v].hops);
+    }
+    EXPECT_EQ(ia.evidence.step_alerts, ib.evidence.step_alerts);
+    EXPECT_EQ(ia.evidence.group_alerts, ib.evidence.group_alerts);
+    EXPECT_EQ(ia.evidence.switch_bandwidth_alerts,
+              ib.evidence.switch_bandwidth_alerts);
+    EXPECT_EQ(ia.evidence.switch_concurrency_alerts,
+              ib.evidence.switch_concurrency_alerts);
+  }
+  EXPECT_EQ(a.telemetry.alerts_explained, b.telemetry.alerts_explained);
+  EXPECT_EQ(a.telemetry.alerts_orphaned, b.telemetry.alerts_orphaned);
+}
+
 // The telemetry block must be bit-identical too: it is built from
 // deterministic per-job event counts folded in job-id order, never from
 // scheduling-dependent state (ISSUE 2's acceptance criterion).
@@ -243,6 +287,9 @@ void expect_telemetry_equal(const ReportTelemetry& a,
   EXPECT_EQ(a.ksigma_series, b.ksigma_series);
   EXPECT_EQ(a.ksigma_points, b.ksigma_points);
   EXPECT_EQ(a.ksigma_alerts, b.ksigma_alerts);
+  EXPECT_EQ(a.incidents, b.incidents);
+  EXPECT_EQ(a.alerts_explained, b.alerts_explained);
+  EXPECT_EQ(a.alerts_orphaned, b.alerts_orphaned);
 }
 
 void expect_reports_equal(const PrismReport& a, const PrismReport& b) {
@@ -277,6 +324,7 @@ void expect_reports_equal(const PrismReport& a, const PrismReport& b) {
   expect_alerts_equal(a.switch_bandwidth_alerts, b.switch_bandwidth_alerts);
   expect_alerts_equal(a.switch_concurrency_alerts,
                       b.switch_concurrency_alerts);
+  expect_attribution_equal(a.attribution, b.attribution);
   expect_telemetry_equal(a.telemetry, b.telemetry);
 }
 
@@ -340,6 +388,12 @@ TEST(ParallelEquivalenceCoverageTest, MixesProduceFindings) {
   EXPECT_GT(step_alerts, 0u);
   EXPECT_FALSE(mix.baseline.switch_bandwidth_gbps.empty());
   EXPECT_FALSE(three_jobs().baseline.switch_bandwidth_alerts.empty());
+  // Every switch bandwidth alert must be explained by a cluster-level
+  // incident, so the incident comparison above cannot pass vacuously.
+  EXPECT_FALSE(three_jobs().baseline.attribution.incidents.empty());
+  EXPECT_GT(mix.baseline.telemetry.alerts_explained +
+                mix.baseline.telemetry.alerts_orphaned,
+            0u);
 }
 
 // The telemetry comparison must not pass vacuously either: the mixes have

@@ -2,7 +2,11 @@
 // configurations and serialization boundaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <sstream>
+
+#include "llmprism/core/diagnosis.hpp"
 
 #include "llmprism/baseline/eval.hpp"
 #include "llmprism/collector/collector.hpp"
@@ -202,6 +206,89 @@ TEST(TimelineWellFormedTest, StepsAreMonotoneAndContiguous) {
       }
     }
   }
+}
+
+// --- k-sigma rule properties -----------------------------------------------
+
+/// Values flagged by the k-sigma rule form a set property of the sample,
+/// not of its ordering: permuting the series permutes the indices but
+/// flags exactly the same values.
+TEST(KSigmaPropertyTest, OutlierSetIsPermutationInvariant) {
+  std::vector<double> xs = {1.00, 1.02, 0.98, 1.01, 0.99, 1.03,
+                            0.97, 1.00, 1.02, 0.98, 1.01, 4.70};
+  const KSigmaConfig config;  // defaults: k=3, stddev, leave-one-out
+
+  const auto flagged_values = [&](const std::vector<double>& series) {
+    std::vector<double> values;
+    for (const std::size_t i : ksigma_outliers_above(series, config)) {
+      values.push_back(series[i]);
+    }
+    std::sort(values.begin(), values.end());
+    return values;
+  };
+
+  const auto reference = flagged_values(xs);
+  ASSERT_EQ(reference, std::vector<double>{4.70});
+
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 16; ++round) {
+    std::shuffle(xs.begin(), xs.end(), rng);
+    EXPECT_EQ(flagged_values(xs), reference) << "round " << round;
+  }
+}
+
+/// With n samples the maximum z-score attainable against GLOBAL statistics
+/// is bounded (the outlier inflates its own sigma), so a global 3-sigma
+/// rule cannot fire on a short series no matter how gross the outlier.
+/// Leave-one-out removes the self-masking and fires. This is exactly the
+/// 8-DP-group regime of cross-group diagnosis.
+TEST(KSigmaPropertyTest, LeaveOneOutFiresWhereGlobalRuleCannot) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0};
+
+  KSigmaConfig global;
+  global.leave_one_out = false;
+  EXPECT_TRUE(ksigma_outliers_above(xs, global).empty())
+      << "global rule should self-mask on n=8";
+
+  KSigmaConfig loo;
+  loo.leave_one_out = true;
+  const auto flagged = ksigma_outliers_above(xs, loo);
+  EXPECT_EQ(flagged, std::vector<std::size_t>{7});
+}
+
+/// Leave-one-out removes only ONE point from the reference, so two
+/// simultaneous outliers still mask each other under the stddev estimator.
+/// The median/MAD estimator has a 50% breakdown point and flags both —
+/// the reason switch-level diagnosis defaults to kMad.
+TEST(KSigmaPropertyTest, MadSurvivesTwoSimultaneousOutliers) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 4.0, 4.0};
+
+  KSigmaConfig stddev;
+  stddev.dispersion = Dispersion::kStddev;
+  stddev.leave_one_out = true;
+  EXPECT_TRUE(ksigma_outliers_above(xs, stddev).empty())
+      << "the second outlier should inflate the leave-one-out sigma";
+
+  KSigmaConfig mad;
+  mad.dispersion = Dispersion::kMad;
+  mad.leave_one_out = true;
+  const auto flagged = ksigma_outliers_above(xs, mad);
+  EXPECT_EQ(flagged, (std::vector<std::size_t>{6, 7}));
+}
+
+/// min_relative_excess is checked against the LEAVE-ONE-OUT reference mean
+/// (1.0 here), not the outlier-polluted global mean. A series of seven 1.0s
+/// has zero leave-one-out sigma, so the margin is the only gate: 22% over
+/// fires, 19% over does not. Under a (wrong) global mean of 1.0275 the
+/// margin would be 1.233 and the first case could not fire.
+TEST(KSigmaPropertyTest, RelativeExcessUsesLeaveOneOutMean) {
+  const KSigmaConfig config;  // min_relative_excess = 0.2
+  const std::vector<double> fires = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.22};
+  EXPECT_EQ(ksigma_outliers_above(fires, config),
+            std::vector<std::size_t>{7});
+
+  const std::vector<double> holds = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.19};
+  EXPECT_TRUE(ksigma_outliers_above(holds, config).empty());
 }
 
 }  // namespace

@@ -173,6 +173,69 @@ TEST(WriteReportJsonTest, SerializesTelemetryBlock) {
   EXPECT_NE(json.find("\"ksigma_alerts\":2"), std::string::npos);
 }
 
+TEST(WriteReportJsonTest, SerializesIncidents) {
+  PrismReport report;
+  AttributedIncident incident;
+  incident.job = JobId(0);
+  incident.step_begin = 8;
+  incident.step_end = 8;
+  incident.confidence = 0.875;
+  incident.culprits.push_back(
+      {.kind = CulpritKind::kRank, .gpu = GpuId(11), .score = 1.5});
+  incident.victims.push_back({.kind = VictimKind::kStepAlert,
+                              .job = JobId(0),
+                              .gpu = GpuId(40),
+                              .step_index = 8,
+                              .hops = 2});
+  incident.evidence.step_alerts = 8;
+  report.attribution.incidents.push_back(std::move(incident));
+
+  AttributedIncident cluster;  // switch incidents carry no job id
+  cluster.culprits.push_back(
+      {.kind = CulpritKind::kSwitch, .switch_id = SwitchId(3), .score = 0.7});
+  cluster.evidence.switch_bandwidth_alerts = 1;
+  report.attribution.incidents.push_back(std::move(cluster));
+
+  std::ostringstream oss;
+  write_report_json(oss, report);
+  const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error() << "\n" << json;
+  EXPECT_NE(json.find("\"incidents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"rank\",\"gpu\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"confidence\":0.875"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"step_alert\",\"gpu\":40"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"hops\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"switch\",\"switch\":3"), std::string::npos);
+  // The cluster-level incident must not claim a job or step range.
+  const std::size_t cluster_pos = json.find("\"kind\":\"switch\"");
+  ASSERT_NE(cluster_pos, std::string::npos);
+  EXPECT_EQ(json.find("\"job\":", json.find("\"incidents\":[")),
+            json.find("\"job\":0,\"step_begin\":8"));
+  EXPECT_NE(json.find("\"evidence\":{\"step_alerts\":8"), std::string::npos);
+}
+
+TEST(RenderSummaryTest, IncludesIncidentBlock) {
+  PrismReport report;
+  AttributedIncident incident;
+  incident.job = JobId(0);
+  incident.step_begin = 8;
+  incident.step_end = 9;
+  incident.confidence = 0.9;
+  incident.culprits.push_back(
+      {.kind = CulpritKind::kRank, .gpu = GpuId(11), .score = 1.5});
+  report.attribution.incidents.push_back(std::move(incident));
+  report.telemetry.incidents = 1;
+  report.telemetry.alerts_explained = 8;
+
+  const std::string summary = render_report_summary(report);
+  EXPECT_NE(summary.find("incidents:"), std::string::npos);
+  EXPECT_NE(summary.find("straggler gpu 11"), std::string::npos);
+  EXPECT_NE(summary.find("1 incidents"), std::string::npos);
+  EXPECT_NE(summary.find("8 alerts explained"), std::string::npos);
+}
+
 TEST(RenderSummaryTest, IncludesTelemetryLine) {
   PrismReport report;
   report.telemetry.flows_total = 50;

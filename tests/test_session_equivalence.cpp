@@ -196,6 +196,15 @@ void expect_reports_equal(const PrismReport& a, const PrismReport& b,
   ASSERT_EQ(a.switch_concurrency_alerts.size(),
             b.switch_concurrency_alerts.size());
 
+  // Attribution is a pure function of alerts + timelines + comm types, so
+  // warm ticks must carry field-for-field identical incidents (the structs
+  // have defaulted equality covering culprits, victims, and evidence).
+  EXPECT_EQ(a.attribution.incidents, b.attribution.incidents);
+  EXPECT_EQ(a.attribution.telemetry.alerts_explained,
+            b.attribution.telemetry.alerts_explained);
+  EXPECT_EQ(a.attribution.telemetry.alerts_orphaned,
+            b.attribution.telemetry.alerts_orphaned);
+
   const ReportTelemetry& ta = a.telemetry;
   const ReportTelemetry& tb = b.telemetry;
   EXPECT_EQ(ta.flows_total, tb.flows_total);
@@ -220,6 +229,9 @@ void expect_reports_equal(const PrismReport& a, const PrismReport& b,
   EXPECT_EQ(ta.ksigma_series, tb.ksigma_series);
   EXPECT_EQ(ta.ksigma_points, tb.ksigma_points);
   EXPECT_EQ(ta.ksigma_alerts, tb.ksigma_alerts);
+  EXPECT_EQ(ta.incidents, tb.incidents);
+  EXPECT_EQ(ta.alerts_explained, tb.alerts_explained);
+  EXPECT_EQ(ta.alerts_orphaned, tb.alerts_orphaned);
 }
 
 void expect_ticks_equal(const std::vector<MonitorTick>& a,

@@ -52,6 +52,7 @@ struct CliOptions {
   bool json = false;
   bool timelines = false;
   bool reconstruct = true;
+  bool attribute = true;
   std::size_t ingest_threads = 0;
   std::string metrics_out;
   std::string trace_out;
@@ -65,6 +66,7 @@ void usage() {
          "             [--monitor-window S] [--no-carry]\n"
          "             [--ingest-threads N]\n"
          "             [--json] [--timelines] [--no-reconstruct]\n"
+         "             [--no-attribute]\n"
          "             [--log-level debug|info|warn|error|off]\n"
          "             [--metrics-out FILE] [--trace-out FILE]\n"
          "       prism convert <in> <out> [--format csv|lft]\n"
@@ -250,6 +252,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.timelines = true;
     } else if (arg == "--no-reconstruct") {
       options.reconstruct = false;
+    } else if (arg == "--no-attribute") {
+      options.attribute = false;
     } else if (arg == "--log-level") {
       const char* v = need_value(i);
       if (!v) return std::nullopt;
@@ -325,6 +329,7 @@ int main(int argc, char** argv) {
     const auto topology = ClusterTopology::build(topo_config);
     PrismConfig prism_config;
     prism_config.reconstruct_timelines = options->reconstruct;
+    prism_config.attribute = options->attribute;
     if (const auto errors = prism_config.validate(); !errors.empty()) {
       std::cerr << "prism: invalid configuration:\n";
       for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
