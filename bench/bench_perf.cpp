@@ -17,6 +17,10 @@
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/timeline.hpp"
+#include "llmprism/export/journal.hpp"
+#include "llmprism/export/perfetto.hpp"
+#include "llmprism/export/series.hpp"
+#include "llmprism/export/view.hpp"
 #include "llmprism/flow/io.hpp"
 #include "llmprism/flow/lft.hpp"
 #include "llmprism/obs/metrics.hpp"
@@ -157,6 +161,46 @@ void BM_PrismAnalyze(benchmark::State& state) {
 // Wall-clock time is the metric: the sweep records the per-job fan-out's
 // speedup (items_per_second at 4 threads vs 1) in the bench trajectory.
 BENCHMARK(BM_PrismAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// The export overhead a prismd daemon would pay per analysis window:
+// the report is computed once outside the loop; each iteration renders
+// all three job-facing exports (Perfetto trace, OpenMetrics series,
+// incident journal) from it.
+void BM_FleetExport(benchmark::State& state) {
+  const auto& sim = shared_multi_job_cluster();
+  MonitorConfig cfg;
+  cfg.window = 500 * kMillisecond;
+  cfg.reorder_slack = 100 * kMillisecond;
+  cfg.prism.num_threads = 1;
+  OnlineMonitor monitor(sim.topology, cfg);
+  std::vector<MonitorTick> ticks = monitor.ingest(sim.trace);
+  if (auto last = monitor.flush()) ticks.push_back(std::move(*last));
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    PerfettoExporter perfetto;
+    JobSeriesCollector series;
+    IncidentJournal journal;
+    for (const MonitorTick& tick : ticks) {
+      const WindowExportView view = export_view(tick);
+      perfetto.add_window(view);
+      series.add_window(view);
+      journal.add_window(view);
+    }
+    journal.finish();
+    std::ostringstream os;
+    perfetto.write(os);
+    series.write_openmetrics(os);
+    journal.write_jsonl(os);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * ticks.size()));
+  state.counters["windows"] = static_cast<double>(ticks.size());
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FleetExport);
 
 void run_monitor_ingest(benchmark::State& state, bool carry_state) {
   // The streaming hot path: the multi-tenant feed delivered in 512-flow

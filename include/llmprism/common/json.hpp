@@ -1,0 +1,54 @@
+// Minimal JSON string escaping shared by every hand-rolled exporter.
+//
+// The repo deliberately takes no serializer dependency; each exporter emits
+// its documents directly. Strings, however, must be escaped exactly one way
+// (RFC 8259 §7): quote, backslash and the C0 control range. Everything else
+// — including non-ASCII bytes — passes through untouched, so UTF-8 payloads
+// survive byte-for-byte. tests/json_lint.hpp is the independent check that
+// the emitted documents actually parse.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace llmprism {
+
+/// Write `s` as a JSON string literal, including the surrounding quotes.
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace llmprism

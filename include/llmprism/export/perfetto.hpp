@@ -1,0 +1,84 @@
+// Perfetto / Chrome-trace export of the reconstructed training timeline.
+//
+// The black-box reconstruction already recovers a Fig. 4-style Gantt chart
+// per job (per-rank timelines with compute / pp_send / pp_recv / dp_sync
+// events, plus step boundaries); this exporter serializes it in the Chrome
+// trace-event JSON format so an operator can open any monitored job in
+// ui.perfetto.dev without instrumenting the tenant:
+//  * one trace-event *process* per job (pid = stable monitor job id + 2;
+//    pid 1 is the fabric pseudo-process),
+//  * one *thread* (track) per rank, named "rank r (gpu g)" and sorted in
+//    rank order,
+//  * "ph":"X" slices for the reconstructed step spans and for every
+//    timeline event (compute, pp_send, pp_recv, dp_sync),
+//  * "ph":"i" instant events for the k-sigma alerts — thread-scoped for
+//    step alerts, process-scoped for DP-group alerts, global on the fabric
+//    process for switch alerts,
+//  * "ph":"C" counter tracks: per-job per-comm-type bytes/s, and per-switch
+//    DP bandwidth on the fabric process.
+//
+// Determinism: the output is a pure function of the sequence of
+// WindowExportViews (report order, std::map-ordered counters, fixed-point
+// timestamp formatting — no doubles formatted with ambiguous precision, no
+// wall clock), so it is bit-identical across analysis thread counts and
+// warm/cold sessions. tests/test_parallel_equivalence.cpp and
+// tests/test_session_equivalence.cpp enforce this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "llmprism/common/time.hpp"
+#include "llmprism/export/view.hpp"
+
+namespace llmprism {
+
+struct PerfettoOptions {
+  /// Display names per stable job id; jobs not listed get a generated
+  /// "job <id> (tp=..,dp=..,pp=..)" name. Names are JSON-escaped, so any
+  /// byte sequence is safe.
+  std::map<std::uint64_t, std::string> job_names;
+  /// Bin width of the per-job comm-bytes/s counter track.
+  DurationNs counter_bucket = 100 * kMillisecond;
+  /// Emit the per-rank "step k" spans (the outer nesting level).
+  bool emit_steps = true;
+  /// Emit the per-event slices (compute / pp_send / pp_recv / dp_sync).
+  bool emit_events = true;
+  /// Emit the "ph":"C" counter tracks.
+  bool emit_counters = true;
+};
+
+/// Accumulates windows and writes one Chrome trace-event JSON document.
+class PerfettoExporter {
+ public:
+  explicit PerfettoExporter(PerfettoOptions options = {});
+
+  /// Append one analyzed window. Windows must arrive in time order (the
+  /// order OnlineMonitor produces ticks).
+  void add_window(const WindowExportView& view);
+
+  /// Write the accumulated document: {"traceEvents":[...],...}. Valid JSON
+  /// even with zero windows added. Can be called repeatedly.
+  void write(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_events() const { return num_events_; }
+
+ private:
+  /// Append one serialized event object to the buffer (comma handling).
+  void append_event(std::string_view event);
+  void add_job_window(const WindowExportView& view, std::size_t j);
+  void add_fabric_window(const WindowExportView& view);
+
+  PerfettoOptions options_;
+  std::string events_;        ///< serialized events, comma-separated
+  std::size_t num_events_ = 0;
+  std::set<std::uint64_t> named_processes_;              ///< pids with M events
+  std::set<std::pair<std::uint64_t, std::uint64_t>> named_threads_;
+};
+
+}  // namespace llmprism

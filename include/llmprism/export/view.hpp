@@ -1,0 +1,47 @@
+// Job-facing observability plane — shared input view.
+//
+// The fleet exporters (perfetto.hpp, series.hpp, journal.hpp) all consume
+// the same thing: one analyzed window, i.e. a PrismReport plus the window
+// geometry it was sliced from and, when the caller is the OnlineMonitor,
+// the stable cross-window job identities of MonitorTick. They are pure
+// post-processing: nothing here feeds back into the analysis pipeline, so
+// enabling an export can never change a report — and every exporter output
+// is a deterministic function of the (report, window, ids) sequence alone,
+// which is what lets the differential suites assert the exports
+// bit-identical across thread counts and warm/cold sessions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "llmprism/common/time.hpp"
+#include "llmprism/core/monitor.hpp"
+#include "llmprism/core/prism.hpp"
+
+namespace llmprism {
+
+/// One analyzed window, as the exporters see it.
+struct WindowExportView {
+  /// The analysis window the report covers. For one-shot analysis, pass
+  /// the trace's own span.
+  TimeWindow window;
+  const PrismReport* report = nullptr;
+  /// Stable cross-window job ids, parallel to report->jobs (MonitorTick::
+  /// job_ids). Empty = fall back to the report-local JobAnalysis::id, which
+  /// is only meaningful for single-window exports.
+  std::span<const MonitorJobId> stable_ids;
+};
+
+/// Convenience: build the view for one monitor tick.
+[[nodiscard]] inline WindowExportView export_view(const MonitorTick& tick) {
+  return {tick.window, &tick.report, tick.job_ids};
+}
+
+/// Stable id of the j-th job of the view's report.
+[[nodiscard]] inline std::uint64_t stable_job_id(const WindowExportView& view,
+                                                 std::size_t j) {
+  if (j < view.stable_ids.size()) return view.stable_ids[j];
+  return view.report->jobs[j].id.value();
+}
+
+}  // namespace llmprism

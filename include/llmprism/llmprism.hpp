@@ -46,3 +46,9 @@
 // ---- self-observability (metrics registry, exporters, trace spans) ----
 #include "llmprism/obs/metrics.hpp"
 #include "llmprism/obs/trace_span.hpp"
+
+// ---- job-facing observability plane (fleet exports) ----
+#include "llmprism/export/journal.hpp"
+#include "llmprism/export/perfetto.hpp"
+#include "llmprism/export/series.hpp"
+#include "llmprism/export/view.hpp"

@@ -98,6 +98,16 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Prometheus-style quantile estimate from fixed buckets: find the bucket
+/// containing rank q*count and interpolate linearly inside it (bucket
+/// lower bound 0 for the first finite bucket). Observations in the +Inf
+/// bucket clamp to the highest finite bound (the classic histogram_quantile
+/// behaviour). Returns 0 for an empty snapshot; q is clamped to [0, 1].
+/// This is the ONE summary path shared by the self-telemetry exposition
+/// and the per-job fleet series (export/series.hpp).
+[[nodiscard]] double histogram_quantile(const Histogram::Snapshot& snap,
+                                        double q);
+
 /// Thread-safe name -> metric registry. Registration is idempotent: the
 /// first call with a name creates the metric, later calls return the same
 /// object (help text of the first registration wins; re-registering a name

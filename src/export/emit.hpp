@@ -1,0 +1,64 @@
+// Internal deterministic number formatting shared by the fleet exporters.
+//
+// Default ostream/printf double formatting is precision-ambiguous; every
+// exporter output must instead be a fixed, exact function of its inputs so
+// the differential suites can assert byte equality across thread counts
+// and warm/cold sessions. Two formats cover everything:
+//  * write_us  — a TimeNs as microseconds with exactly three fractional
+//    digits (the full nanosecond, no rounding at all),
+//  * write_double — shortest round-trip decimal via %.17g -> %g retry,
+//    locale-independent ("C" behaviour of the printf family is assumed, as
+//    everywhere else in the repo).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "llmprism/common/time.hpp"
+
+namespace llmprism::detail {
+
+/// Append `ns` as microseconds with three fractional digits ("1234.567").
+inline void write_us(std::string& out, TimeNs ns) {
+  std::uint64_t a;
+  if (ns < 0) {
+    out += '-';
+    a = static_cast<std::uint64_t>(-(ns + 1)) + 1;
+  } else {
+    a = static_cast<std::uint64_t>(ns);
+  }
+  const std::uint64_t rem = a % 1000;
+  out += std::to_string(a / 1000);
+  out += '.';
+  out += static_cast<char>('0' + rem / 100);
+  out += static_cast<char>('0' + rem / 10 % 10);
+  out += static_cast<char>('0' + rem % 10);
+}
+
+/// Append a finite double as the shortest decimal that round-trips;
+/// non-finite values degrade to 0 (JSON has no NaN/Inf).
+inline void write_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[32];
+  for (int precision = 6; precision <= 17; precision += 2) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  out += buf;
+}
+
+inline void write_double(std::ostream& os, double v) {
+  std::string s;
+  write_double(s, v);
+  os << s;
+}
+
+}  // namespace llmprism::detail

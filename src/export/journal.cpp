@@ -1,0 +1,240 @@
+#include "llmprism/export/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "llmprism/common/hash.hpp"
+#include "llmprism/core/attribution.hpp"
+#include "emit.hpp"
+
+namespace llmprism {
+
+namespace {
+
+using detail::write_double;
+
+/// Cluster-level incidents (degraded switches) are owned by no tenant.
+constexpr std::uint64_t kClusterJob = ~0ULL;
+
+/// Stable content-derived id: xxhash64 over the packed identity tuple,
+/// formatted as 16 lowercase hex digits. The layout is fixed (8-byte job,
+/// 1-byte kind, 8-byte identity, little-endian) so ids survive restarts
+/// and are comparable across deployments.
+[[nodiscard]] std::string derive_id(std::uint64_t job, std::uint8_t kind,
+                                    std::uint64_t identity) {
+  unsigned char buf[17];
+  std::memcpy(buf, &job, 8);
+  buf[8] = kind;
+  std::memcpy(buf + 9, &identity, 8);
+  const std::uint64_t h = xxhash64(buf, sizeof(buf));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return {hex, 16};
+}
+
+void add_origin(std::string& line, std::uint8_t kind, std::uint64_t identity) {
+  line += ",\"kind\":\"";
+  line += to_string(static_cast<CulpritKind>(kind));
+  line += "\",\"origin\":{";
+  switch (static_cast<CulpritKind>(kind)) {
+    case CulpritKind::kRank:
+      line += "\"gpu\":" + std::to_string(identity);
+      break;
+    case CulpritKind::kDpGroup:
+      line += "\"dp_group\":" + std::to_string(identity);
+      break;
+    case CulpritKind::kSwitch:
+      line += "\"switch\":" + std::to_string(identity);
+      break;
+  }
+  line += '}';
+}
+
+}  // namespace
+
+IncidentJournal::IncidentJournal(JournalOptions options)
+    : options_(options) {
+  if (options_.resolve_after_windows == 0) {
+    options_.resolve_after_windows = 1;
+  }
+}
+
+std::string& IncidentJournal::next_line() {
+  lines_ += '\n';
+  ++num_events_;
+  return lines_;
+}
+
+void IncidentJournal::emit_resolve(const Key& key, const OpenState& st,
+                                   std::size_t at_window, TimeNs at_time) {
+  (void)key;
+  std::string& out = next_line();
+  out += "{\"event\":\"resolve\",\"id\":\"" + st.id + "\"";
+  out += ",\"window\":" + std::to_string(at_window);
+  out += ",\"time_ns\":" + std::to_string(at_time);
+  out += ",\"first_window\":" + std::to_string(st.first_window);
+  out += ",\"last_window\":" + std::to_string(st.last_window);
+  out += ",\"windows_active\":" + std::to_string(st.windows_active);
+  out += ",\"confidence_min\":";
+  write_double(out, st.confidence_min);
+  out += ",\"confidence_max\":";
+  write_double(out, st.confidence_max);
+  out += ",\"confidence_last\":";
+  write_double(out, st.confidence_last);
+  out += "}";
+}
+
+void IncidentJournal::add_window(const WindowExportView& view) {
+  if (view.report == nullptr) return;
+  const std::size_t w = window_index_++;
+  last_window_end_ = view.window.end;
+
+  // Deduplicate this window's incidents by identity: the same fault can
+  // surface as several step-range incidents in one window.
+  std::map<Key, WindowAgg> seen;
+  for (const AttributedIncident& inc : view.report->attribution.incidents) {
+    if (inc.culprits.empty()) continue;
+    const Culprit& origin = inc.culprits.front();
+    Key key;
+    if (inc.job.valid()) {
+      key.job = kClusterJob;  // fallback when the owning job is not found
+      for (std::size_t j = 0; j < view.report->jobs.size(); ++j) {
+        if (view.report->jobs[j].id == inc.job) {
+          key.job = stable_job_id(view, j);
+          break;
+        }
+      }
+    } else {
+      key.job = kClusterJob;
+    }
+    key.kind = static_cast<std::uint8_t>(origin.kind);
+    switch (origin.kind) {
+      case CulpritKind::kRank:
+        key.identity = origin.gpu.value();
+        break;
+      case CulpritKind::kDpGroup:
+        key.identity = origin.dp_group_index;
+        break;
+      case CulpritKind::kSwitch:
+        key.identity = origin.switch_id.value();
+        break;
+    }
+
+    const auto [it, fresh] = seen.try_emplace(key);
+    WindowAgg& agg = it->second;
+    if (fresh) {
+      agg.step_begin = inc.step_begin;
+      agg.step_end = inc.step_end;
+      agg.confidence = inc.confidence;
+      agg.score = origin.score;
+      agg.victims = inc.victims.size();
+      agg.culprits = inc.culprits.size();
+    } else {
+      agg.step_begin = std::min(agg.step_begin, inc.step_begin);
+      agg.step_end = std::max(agg.step_end, inc.step_end);
+      agg.confidence = std::max(agg.confidence, inc.confidence);
+      agg.score = std::max(agg.score, origin.score);
+      agg.victims += inc.victims.size();
+      agg.culprits = std::max<std::uint64_t>(agg.culprits,
+                                             inc.culprits.size());
+    }
+  }
+
+  // Resolve incidents absent long enough (before this window's opens, so
+  // a re-appearing fault reads resolve -> open, a new lifecycle).
+  std::vector<Key> resolved;
+  for (const auto& [key, st] : open_) {
+    if (seen.contains(key)) continue;
+    if (w - st.last_window >= options_.resolve_after_windows) {
+      emit_resolve(key, st, w, view.window.begin);
+      resolved.push_back(key);
+    }
+  }
+  for (const Key& key : resolved) open_.erase(key);
+
+  for (const auto& [key, agg] : seen) {
+    auto it = open_.find(key);
+    if (it == open_.end()) {
+      OpenState st;
+      st.id = derive_id(key.job, key.kind, key.identity);
+      st.first_window = w;
+      st.last_window = w;
+      st.windows_active = 1;
+      st.last_seen_end = view.window.end;
+      st.confidence_last = agg.confidence;
+      st.confidence_min = agg.confidence;
+      st.confidence_max = agg.confidence;
+      st.victims_last = agg.victims;
+
+      std::string& out = next_line();
+      out += "{\"event\":\"open\",\"id\":\"" + st.id + "\"";
+      out += ",\"window\":" + std::to_string(w);
+      out += ",\"time_ns\":" + std::to_string(view.window.begin);
+      if (key.job == kClusterJob) {
+        out += ",\"job\":null";
+      } else {
+        out += ",\"job\":" + std::to_string(key.job);
+      }
+      add_origin(out, key.kind, key.identity);
+      out += ",\"score\":";
+      write_double(out, agg.score);
+      out += ",\"step_begin\":" + std::to_string(agg.step_begin);
+      out += ",\"step_end\":" + std::to_string(agg.step_end);
+      out += ",\"confidence\":";
+      write_double(out, agg.confidence);
+      out += ",\"victims\":" + std::to_string(agg.victims);
+      out += ",\"culprits\":" + std::to_string(agg.culprits);
+      out += "}";
+
+      open_.emplace(key, std::move(st));
+    } else {
+      OpenState& st = it->second;
+      const double conf_delta = agg.confidence - st.confidence_last;
+      const auto victims_delta =
+          static_cast<std::int64_t>(agg.victims) -
+          static_cast<std::int64_t>(st.victims_last);
+      st.last_window = w;
+      ++st.windows_active;
+      st.last_seen_end = view.window.end;
+      st.confidence_last = agg.confidence;
+      st.confidence_min = std::min(st.confidence_min, agg.confidence);
+      st.confidence_max = std::max(st.confidence_max, agg.confidence);
+      st.victims_last = agg.victims;
+
+      std::string& out = next_line();
+      out += "{\"event\":\"update\",\"id\":\"" + st.id + "\"";
+      out += ",\"window\":" + std::to_string(w);
+      out += ",\"time_ns\":" + std::to_string(view.window.begin);
+      out += ",\"confidence\":";
+      write_double(out, agg.confidence);
+      out += ",\"confidence_delta\":";
+      write_double(out, conf_delta);
+      out += ",\"victims\":" + std::to_string(agg.victims);
+      out += ",\"victims_delta\":" + std::to_string(victims_delta);
+      out += ",\"windows_active\":" + std::to_string(st.windows_active);
+      out += ",\"step_begin\":" + std::to_string(agg.step_begin);
+      out += ",\"step_end\":" + std::to_string(agg.step_end);
+      out += "}";
+    }
+  }
+}
+
+void IncidentJournal::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const auto& [key, st] : open_) {
+    emit_resolve(key, st, window_index_, last_window_end_);
+  }
+  open_.clear();
+}
+
+void IncidentJournal::write_jsonl(std::ostream& os) const {
+  os << "{\"schema_version\":1,\"stream\":\"incident_journal\"}";
+  os << lines_;
+  os << '\n';
+}
+
+}  // namespace llmprism

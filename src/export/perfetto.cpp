@@ -1,0 +1,334 @@
+#include "llmprism/export/perfetto.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "llmprism/common/json.hpp"
+#include "llmprism/core/attribution.hpp"
+#include "emit.hpp"
+
+namespace llmprism {
+
+namespace {
+
+using detail::write_double;
+using detail::write_us;
+
+/// Chrome-trace slice name for a timeline event kind. "dp" reads poorly on
+/// a track full of abbreviations; the rest match to_string().
+[[nodiscard]] std::string_view slice_name(TimelineEventKind k) {
+  return k == TimelineEventKind::kDp ? "dp_sync" : to_string(k);
+}
+
+/// Common event prefix: {"name":<escaped>,"ph":"<ph>","pid":P,"tid":T
+void begin_event(std::string& out, std::string_view name, char ph,
+                 std::uint64_t pid, std::uint64_t tid) {
+  out += "{\"name\":";
+  std::ostringstream os;
+  write_json_string(os, name);
+  out += os.str();
+  out += ",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+}
+
+void add_ts(std::string& out, TimeNs ts) {
+  out += ",\"ts\":";
+  write_us(out, ts);
+}
+
+void add_dur(std::string& out, DurationNs dur) {
+  out += ",\"dur\":";
+  write_us(out, dur);
+}
+
+/// The reconstructed step (by index) on one timeline, or nullptr.
+[[nodiscard]] const ReconstructedStep* find_step(const GpuTimeline& tl,
+                                                 std::size_t step_index) {
+  for (const ReconstructedStep& s : tl.steps) {
+    if (s.index == step_index) return &s;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] const GpuTimeline* find_timeline(const JobAnalysis& job,
+                                               GpuId gpu) {
+  for (const GpuTimeline& tl : job.timelines) {
+    if (tl.gpu == gpu) return &tl;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PerfettoExporter::PerfettoExporter(PerfettoOptions options)
+    : options_(std::move(options)) {}
+
+void PerfettoExporter::append_event(std::string_view event) {
+  if (num_events_ != 0) events_ += ',';
+  events_ += "\n";
+  events_ += event;
+  ++num_events_;
+}
+
+void PerfettoExporter::add_window(const WindowExportView& view) {
+  if (view.report == nullptr) return;
+  for (std::size_t j = 0; j < view.report->jobs.size(); ++j) {
+    add_job_window(view, j);
+  }
+  add_fabric_window(view);
+}
+
+void PerfettoExporter::add_job_window(const WindowExportView& view,
+                                      std::size_t j) {
+  const JobAnalysis& job = view.report->jobs[j];
+  const std::uint64_t sid = stable_job_id(view, j);
+  // pid 0 is reserved by some viewers and pid 1 is the fabric process.
+  const std::uint64_t pid = sid + 2;
+
+  if (named_processes_.insert(pid).second) {
+    std::string name;
+    if (const auto it = options_.job_names.find(sid);
+        it != options_.job_names.end()) {
+      name = it->second;
+    } else {
+      name = "job " + std::to_string(sid) + " (tp=" +
+             std::to_string(job.inferred.tp) + ",dp=" +
+             std::to_string(job.inferred.dp) + ",pp=" +
+             std::to_string(job.inferred.pp) + ")";
+    }
+    std::string e;
+    begin_event(e, "process_name", 'M', pid, 0);
+    e += ",\"args\":{\"name\":";
+    std::ostringstream os;
+    write_json_string(os, name);
+    e += os.str();
+    e += "}}";
+    append_event(e);
+
+    e.clear();
+    begin_event(e, "process_sort_index", 'M', pid, 0);
+    e += ",\"args\":{\"sort_index\":" + std::to_string(pid) + "}}";
+    append_event(e);
+  }
+
+  // Per-rank tracks: tid = the cluster-wide gpu id (stable across windows),
+  // displayed in rank order via thread_sort_index.
+  for (const GpuTimeline& tl : job.timelines) {
+    const std::uint64_t tid = tl.gpu.value();
+    if (named_threads_.insert({pid, tid}).second) {
+      const auto& gpus = job.job.gpus;
+      const auto pos = std::lower_bound(gpus.begin(), gpus.end(), tl.gpu);
+      const std::size_t rank =
+          static_cast<std::size_t>(pos - gpus.begin());
+      std::string e;
+      begin_event(e, "thread_name", 'M', pid, tid);
+      e += ",\"args\":{\"name\":\"rank " + std::to_string(rank) + " (gpu " +
+           std::to_string(tid) + ")\"}}";
+      append_event(e);
+
+      e.clear();
+      begin_event(e, "thread_sort_index", 'M', pid, tid);
+      e += ",\"args\":{\"sort_index\":" + std::to_string(rank) + "}}";
+      append_event(e);
+    }
+
+    if (options_.emit_steps) {
+      for (const ReconstructedStep& s : tl.steps) {
+        std::string e;
+        begin_event(e, "step " + std::to_string(s.index), 'X', pid, tid);
+        add_ts(e, s.begin);
+        add_dur(e, s.end - s.begin);
+        e += '}';
+        append_event(e);
+      }
+    }
+
+    if (options_.emit_events) {
+      for (const TimelineEvent& ev : tl.events) {
+        std::string e;
+        begin_event(e, slice_name(ev.kind), 'X', pid, tid);
+        add_ts(e, ev.start);
+        add_dur(e, ev.end - ev.start);
+        if (ev.kind != TimelineEventKind::kCompute && ev.peer.valid()) {
+          e += ",\"args\":{\"peer\":" + std::to_string(ev.peer.value()) + "}";
+        }
+        e += '}';
+        append_event(e);
+      }
+    }
+  }
+
+  // k-sigma step alerts: thread-scoped instants at the flagged step's end.
+  for (const StepAlert& a : job.step_alerts) {
+    TimeNs ts = view.window.begin;
+    if (const GpuTimeline* tl = find_timeline(job, a.gpu)) {
+      if (const ReconstructedStep* s = find_step(*tl, a.step_index)) {
+        ts = s->end;
+      }
+    }
+    std::string e;
+    begin_event(e, "step alert", 'i', pid, a.gpu.value());
+    add_ts(e, ts);
+    e += ",\"s\":\"t\",\"args\":{\"step\":" + std::to_string(a.step_index) +
+         ",\"duration_s\":";
+    write_double(e, a.duration_s);
+    e += ",\"mean_s\":";
+    write_double(e, a.mean_s);
+    e += ",\"threshold_s\":";
+    write_double(e, a.threshold_s);
+    e += "}}";
+    append_event(e);
+  }
+
+  // Cross-group alerts: process-scoped instants at the slow collective's
+  // end (the dp_end of the flagged step on the group's first member).
+  for (const GroupAlert& g : job.group_alerts) {
+    TimeNs ts = view.window.begin;
+    const auto& groups = job.comm_types.dp_components;
+    if (g.group_index < groups.size() && !groups[g.group_index].empty()) {
+      if (const GpuTimeline* tl =
+              find_timeline(job, groups[g.group_index].front())) {
+        if (const ReconstructedStep* s = find_step(*tl, g.step_index)) {
+          ts = s->dp_end;
+        }
+      }
+    }
+    std::string e;
+    begin_event(e, "dp group alert", 'i', pid, 0);
+    add_ts(e, ts);
+    e += ",\"s\":\"p\",\"args\":{\"group\":" + std::to_string(g.group_index) +
+         ",\"step\":" + std::to_string(g.step_index) + ",\"duration_s\":";
+    write_double(e, g.duration_s);
+    e += ",\"mean_s\":";
+    write_double(e, g.mean_s);
+    e += ",\"threshold_s\":";
+    write_double(e, g.threshold_s);
+    e += "}}";
+    append_event(e);
+  }
+
+  // Per-job comm-bandwidth counter track: bytes/s per comm type, binned at
+  // options_.counter_bucket, bins aligned to the window begin. std::map
+  // keeps bin order (and hence output) deterministic.
+  if (options_.emit_counters && !job.trace.empty()) {
+    const auto types = job.comm_types.types();
+    const TimeNs origin = view.window.begin;
+    const DurationNs bucket = options_.counter_bucket;
+    struct BinBytes {
+      std::uint64_t dp = 0;
+      std::uint64_t pp = 0;
+    };
+    std::map<TimeNs, BinBytes> bins;
+    for (const FlowRecord& f : job.trace) {
+      const TimeNs rel = f.start_time - origin;
+      const TimeNs bin =
+          rel >= 0 ? rel / bucket : -((-rel + bucket - 1) / bucket);
+      BinBytes& b = bins[origin + bin * bucket];
+      const auto it = types.find(f.pair());
+      if (it != types.end() && it->second == CommType::kDP) {
+        b.dp += f.bytes;
+      } else {
+        b.pp += f.bytes;
+      }
+    }
+    const double per_second =
+        static_cast<double>(kSecond) / static_cast<double>(bucket);
+    for (const auto& [begin, b] : bins) {
+      std::string e;
+      begin_event(e, "comm bytes/s", 'C', pid, 0);
+      add_ts(e, begin);
+      e += ",\"args\":{\"dp\":";
+      write_double(e, static_cast<double>(b.dp) * per_second);
+      e += ",\"pp\":";
+      write_double(e, static_cast<double>(b.pp) * per_second);
+      e += "}}";
+      append_event(e);
+    }
+  }
+}
+
+void PerfettoExporter::add_fabric_window(const WindowExportView& view) {
+  const PrismReport& r = *view.report;
+  const bool any = !r.switch_bandwidth_gbps.empty() ||
+                   !r.switch_bandwidth_alerts.empty() ||
+                   !r.switch_concurrency_alerts.empty();
+  if (!any) return;
+  constexpr std::uint64_t kFabricPid = 1;
+
+  if (named_processes_.insert(kFabricPid).second) {
+    std::string e;
+    begin_event(e, "process_name", 'M', kFabricPid, 0);
+    e += ",\"args\":{\"name\":\"fabric\"}}";
+    append_event(e);
+    e.clear();
+    begin_event(e, "process_sort_index", 'M', kFabricPid, 0);
+    e += ",\"args\":{\"sort_index\":1}}";
+    append_event(e);
+  }
+
+  // One track per switch; tid 0 stays free for the counter samples.
+  const auto name_switch = [&](SwitchId sw) -> std::uint64_t {
+    const std::uint64_t tid = static_cast<std::uint64_t>(sw.value()) + 1;
+    if (named_threads_.insert({kFabricPid, tid}).second) {
+      std::string e;
+      begin_event(e, "thread_name", 'M', kFabricPid, tid);
+      e += ",\"args\":{\"name\":\"switch " + std::to_string(sw.value()) +
+           "\"}}";
+      append_event(e);
+    }
+    return tid;
+  };
+
+  for (const SwitchBandwidthAlert& a : r.switch_bandwidth_alerts) {
+    const std::uint64_t tid = name_switch(a.switch_id);
+    std::string e;
+    begin_event(e, "switch bandwidth alert", 'i', kFabricPid, tid);
+    add_ts(e, view.window.begin);
+    e += ",\"s\":\"g\",\"args\":{\"bandwidth_gbps\":";
+    write_double(e, a.bandwidth_gbps);
+    e += ",\"mean_gbps\":";
+    write_double(e, a.mean_gbps);
+    e += ",\"threshold_gbps\":";
+    write_double(e, a.threshold_gbps);
+    e += "}}";
+    append_event(e);
+  }
+
+  for (const SwitchConcurrencyAlert& a : r.switch_concurrency_alerts) {
+    const std::uint64_t tid = name_switch(a.switch_id);
+    std::string e;
+    begin_event(e, "switch concurrency alert", 'i', kFabricPid, tid);
+    add_ts(e, a.at);
+    e += ",\"s\":\"g\",\"args\":{\"concurrent_flows\":" +
+         std::to_string(a.concurrent_flows) +
+         ",\"limit\":" + std::to_string(a.limit) + "}}";
+    append_event(e);
+  }
+
+  // Per-switch average DP bandwidth, one counter sample per window.
+  if (options_.emit_counters) {
+    for (const auto& [sw, gbps] : r.switch_bandwidth_gbps) {
+      name_switch(sw);
+      std::string e;
+      begin_event(e, "sw" + std::to_string(sw.value()) + " dp gbps", 'C',
+                  kFabricPid, 0);
+      add_ts(e, view.window.begin);
+      e += ",\"args\":{\"gbps\":";
+      write_double(e, gbps);
+      e += "}}";
+      append_event(e);
+    }
+  }
+}
+
+void PerfettoExporter::write(std::ostream& os) const {
+  os << "{\"schema_version\":1,\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+     << events_ << "\n]}\n";
+}
+
+}  // namespace llmprism

@@ -4,38 +4,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "llmprism/common/json.hpp"
+
 namespace llmprism::obs {
 
 namespace {
 
-/// JSON string escaping for metric names/help (names are plain
-/// identifiers in practice, but help text may contain anything).
-void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
+/// HELP text escaping per the Prometheus text exposition format: backslash
+/// and line feed are the only escaped characters.
+void write_help_text(std::ostream& os, const std::string& s) {
   for (const char c : s) {
     switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
       case '\\':
         os << "\\\\";
         break;
       case '\n':
         os << "\\n";
         break;
-      case '\t':
-        os << "\\t";
-        break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
-        } else {
-          os << c;
-        }
+        os << c;
     }
   }
-  os << '"';
 }
 
 /// Prometheus floats: plain decimal, no locale surprises; integral values
@@ -90,6 +79,31 @@ std::vector<double> Histogram::default_seconds_buckets() {
   return {1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0};
 }
 
+double histogram_quantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0 || snap.counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snap.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    const std::uint64_t before = cumulative;
+    cumulative += snap.counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= snap.bounds.size()) {
+      // +Inf bucket: clamp to the highest finite bound (or the bucket's
+      // observations themselves when there are no finite buckets at all).
+      return snap.bounds.empty() ? snap.sum / static_cast<double>(snap.count)
+                                 : snap.bounds.back();
+    }
+    const double lo = b == 0 ? 0.0 : snap.bounds[b - 1];
+    const double hi = snap.bounds[b];
+    const auto in_bucket = static_cast<double>(snap.counts[b]);
+    if (in_bucket <= 0.0) return hi;
+    const double frac = (rank - static_cast<double>(before)) / in_bucket;
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
 Counter& Registry::counter(const std::string& name, const std::string& help) {
   const std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
@@ -139,7 +153,9 @@ void Registry::write_prometheus(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : entries_) {
     if (!entry.help.empty()) {
-      os << "# HELP " << name << ' ' << entry.help << '\n';
+      os << "# HELP " << name << ' ';
+      write_help_text(os, entry.help);
+      os << '\n';
     }
     switch (entry.kind) {
       case Kind::kCounter:
@@ -212,7 +228,14 @@ void Registry::write_json(std::ostream& os) const {
     }
     os << "],\"sum\":";
     write_number(os, snap.sum);
-    os << ",\"count\":" << snap.count << '}';
+    os << ",\"count\":" << snap.count;
+    os << ",\"p50\":";
+    write_number(os, histogram_quantile(snap, 0.50));
+    os << ",\"p95\":";
+    write_number(os, histogram_quantile(snap, 0.95));
+    os << ",\"p99\":";
+    write_number(os, histogram_quantile(snap, 0.99));
+    os << '}';
   }
   os << "}}\n";
 }

@@ -85,6 +85,47 @@ TEST(HistogramTest, RejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
 }
 
+TEST(HistogramQuantileTest, EmptySnapshotIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(histogram_quantile(h.snapshot(), 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBucket) {
+  // 100 observations uniform in (0, 1]: all land in the first bucket, so
+  // the Prometheus-style estimate interpolates linearly from 0 to 1.
+  Histogram h({1.0, 2.0});
+  for (int i = 1; i <= 100; ++i) h.observe(i / 100.0);
+  const auto snap = h.snapshot();
+  EXPECT_NEAR(histogram_quantile(snap, 0.50), 0.50, 1e-9);
+  EXPECT_NEAR(histogram_quantile(snap, 0.95), 0.95, 1e-9);
+  EXPECT_NEAR(histogram_quantile(snap, 1.00), 1.00, 1e-9);
+}
+
+TEST(HistogramQuantileTest, SpansBucketsCumulatively) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);  // bucket (0, 1]
+  for (int i = 0; i < 50; ++i) h.observe(1.5);  // bucket (1, 2]
+  const auto snap = h.snapshot();
+  // rank 50 sits exactly at the first bucket boundary.
+  EXPECT_NEAR(histogram_quantile(snap, 0.5), 1.0, 1e-9);
+  // rank 90 is 80% into the (1, 2] bucket.
+  EXPECT_NEAR(histogram_quantile(snap, 0.9), 1.8, 1e-9);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToHighestBound) {
+  Histogram h({1.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_EQ(histogram_quantile(h.snapshot(), 0.99), 1.0);
+}
+
+TEST(HistogramQuantileTest, ClampsOutOfRangeQuantile) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  EXPECT_GE(histogram_quantile(h.snapshot(), -1.0), 0.0);
+  EXPECT_LE(histogram_quantile(h.snapshot(), 2.0), 1.0);
+}
+
 TEST(RegistryTest, RegistrationIsIdempotent) {
   Registry r;
   Counter& a = r.counter("x_total", "help");
@@ -143,6 +184,33 @@ TEST(RegistryTest, PrometheusExposition) {
             std::string::npos);
   EXPECT_NE(text.find("llmprism_latency_seconds_count 3"),
             std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusHelpTextIsEscaped) {
+  // The exposition format requires backslash and newline escaping in HELP
+  // text (and nowhere else on that line).
+  Registry r;
+  r.counter("llmprism_esc_total", "line one\nline \\ two").inc(1);
+  std::ostringstream oss;
+  r.write_prometheus(oss);
+  EXPECT_NE(
+      oss.str().find("# HELP llmprism_esc_total line one\\nline \\\\ two\n"),
+      std::string::npos)
+      << oss.str();
+}
+
+TEST(RegistryTest, JsonHistogramsCarryQuantileEstimates) {
+  Registry r;
+  Histogram& h = r.histogram("h_seconds", "latency", {1.0, 2.0});
+  for (int i = 1; i <= 100; ++i) h.observe(i / 100.0);
+  std::ostringstream oss;
+  r.write_json(oss);
+  const std::string json = oss.str();
+  EXPECT_TRUE(testing::is_valid_json(json))
+      << testing::JsonLinter(json).error() << "\n" << json;
+  EXPECT_NE(json.find("\"p50\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":0.95"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":0.99"), std::string::npos) << json;
 }
 
 TEST(RegistryTest, JsonSnapshotIsValidJson) {

@@ -8,9 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
+#include "llmprism/export/journal.hpp"
+#include "llmprism/export/perfetto.hpp"
+#include "llmprism/export/series.hpp"
+#include "llmprism/export/view.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
 
 namespace llmprism {
@@ -461,6 +468,50 @@ TEST_P(ParallelEquivalenceTest, MonitorBatchOfWindows) {
   EXPECT_EQ(sa.switch_bandwidth_alerts, sb.switch_bandwidth_alerts);
   EXPECT_EQ(sa.switch_concurrency_alerts, sb.switch_concurrency_alerts);
   EXPECT_EQ(sa.job_windows, sb.job_windows);
+}
+
+/// Renders all three job-facing exports of a tick sequence into one
+/// string, so equivalence can be asserted byte-for-byte.
+std::string render_exports(const std::vector<MonitorTick>& ticks) {
+  PerfettoExporter perfetto;
+  JobSeriesCollector series;
+  IncidentJournal journal;
+  for (const MonitorTick& tick : ticks) {
+    const WindowExportView view = export_view(tick);
+    perfetto.add_window(view);
+    series.add_window(view);
+    journal.add_window(view);
+  }
+  journal.finish();
+  std::ostringstream os;
+  perfetto.write(os);
+  series.write_openmetrics(os);
+  series.write_jsonl(os);
+  journal.write_jsonl(os);
+  return os.str();
+}
+
+// The exports are pure functions of the tick sequence, so they must be
+// byte-identical whichever thread count produced the ticks.
+TEST_P(ParallelEquivalenceTest, ExportsAreByteIdenticalAcrossThreads) {
+  const MixData& mix = three_jobs();
+
+  MonitorConfig seq_cfg;
+  seq_cfg.window = 2 * kSecond;
+  seq_cfg.prism.num_threads = 1;
+  MonitorConfig par_cfg = seq_cfg;
+  par_cfg.prism.num_threads = GetParam();
+
+  OnlineMonitor sequential(mix.sim.topology, seq_cfg);
+  OnlineMonitor parallel(mix.sim.topology, par_cfg);
+  auto expected = sequential.ingest(mix.sim.trace);
+  if (const auto last = sequential.flush()) expected.push_back(*last);
+  auto got = parallel.ingest(mix.sim.trace);
+  if (const auto last = parallel.flush()) got.push_back(*last);
+
+  const std::string baseline = render_exports(expected);
+  EXPECT_GT(baseline.size(), 1000u) << "exports must not be vacuously empty";
+  EXPECT_EQ(render_exports(got), baseline);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,

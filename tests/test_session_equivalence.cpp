@@ -20,6 +20,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -27,6 +29,10 @@
 
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
+#include "llmprism/export/journal.hpp"
+#include "llmprism/export/perfetto.hpp"
+#include "llmprism/export/series.hpp"
+#include "llmprism/export/view.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
 
 namespace llmprism {
@@ -311,6 +317,44 @@ TEST(SessionEquivalenceTest, RecognitionOnlyWarmIsBitIdentical) {
   EXPECT_EQ(cold.stats().stable_ids_created, warm.stats().stable_ids_created);
   EXPECT_EQ(cold.stats().step_alerts, warm.stats().step_alerts);
   EXPECT_EQ(cold.stats().group_alerts, warm.stats().group_alerts);
+}
+
+// Under the same restricted config the job-facing exports — pure
+// functions of the tick sequence — must come out byte-identical, warm or
+// cold.
+TEST(SessionEquivalenceTest, RecognitionOnlyWarmExportsAreBitIdentical) {
+  const MixData& mix = steady_jobs();
+  MonitorConfig warm_cfg = monitor_config(2 * kSecond, true);
+  warm_cfg.session.reuse_comm_types = false;
+  warm_cfg.session.carry_timeline_tails = false;
+  warm_cfg.session.ewma_baselines = false;
+
+  OnlineMonitor cold(mix.sim.topology, monitor_config(2 * kSecond, false));
+  OnlineMonitor warm(mix.sim.topology, warm_cfg);
+
+  const auto render = [](const std::vector<MonitorTick>& ticks) {
+    PerfettoExporter perfetto;
+    JobSeriesCollector series;
+    IncidentJournal journal;
+    for (const MonitorTick& tick : ticks) {
+      const WindowExportView view = export_view(tick);
+      perfetto.add_window(view);
+      series.add_window(view);
+      journal.add_window(view);
+    }
+    journal.finish();
+    std::ostringstream os;
+    perfetto.write(os);
+    series.write_openmetrics(os);
+    series.write_jsonl(os);
+    journal.write_jsonl(os);
+    return os.str();
+  };
+
+  const std::string cold_out = render(run_monitor(cold, mix.sim.trace));
+  const std::string warm_out = render(run_monitor(warm, mix.sim.trace));
+  EXPECT_GT(cold_out.size(), 1000u) << "exports must not be vacuously empty";
+  EXPECT_EQ(warm_out, cold_out);
 }
 
 // --- comm-type priors: identical classifications, less BOCD work ----------

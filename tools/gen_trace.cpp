@@ -10,8 +10,12 @@
 //     --seed N           (default 42)
 //     --degraded F       fraction of degraded pairs (collection noise)
 //     --drop F           i.i.d. flow drop rate
+//     --straggler SPEC   inject a compute straggler; SPEC =
+//                        job:rank:step_begin:step_end[:slowdown]
+//                        (slowdown defaults to 2.5; repeatable)
 //     --format csv|lft   output format (default: by extension, .lft -> lft)
-//   Prints the ground truth (jobs, layouts) to stderr for comparison.
+//   Prints the ground truth (jobs, layouts, faults) to stderr for
+//   comparison.
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -50,6 +54,30 @@ std::vector<JobSimConfig> parse_jobs(const std::string& spec) {
   return jobs;
 }
 
+struct StragglerArg {
+  std::size_t job = 0;
+  StragglerSpec spec;
+};
+
+StragglerArg parse_straggler(const std::string& one) {
+  std::stringstream ss(one);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(ss, field, ':')) fields.push_back(field);
+  if (fields.size() < 4 || fields.size() > 5) {
+    throw std::invalid_argument(
+        "bad straggler spec '" + one +
+        "' (want job:rank:step_begin:step_end[:slowdown])");
+  }
+  StragglerArg arg;
+  arg.job = std::stoul(fields[0]);
+  arg.spec.rank = static_cast<std::uint32_t>(std::stoul(fields[1]));
+  arg.spec.step_begin = static_cast<std::uint32_t>(std::stoul(fields[2]));
+  arg.spec.step_end = static_cast<std::uint32_t>(std::stoul(fields[3]));
+  arg.spec.slowdown = fields.size() > 4 ? std::stod(fields[4]) : 2.5;
+  return arg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +87,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   double degraded = 0.0;
   double drop = 0.0;
+  std::vector<StragglerArg> stragglers;
   std::string format;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +107,8 @@ int main(int argc, char** argv) {
         degraded = std::stod(value());
       } else if (arg == "--drop") {
         drop = std::stod(value());
+      } else if (arg == "--straggler") {
+        stragglers.push_back(parse_straggler(value()));
       } else if (arg == "--format") {
         format = value();
         if (format != "csv" && format != "lft") {
@@ -99,7 +130,8 @@ int main(int argc, char** argv) {
   if (out_path.empty()) {
     std::cerr << "usage: gen_trace <out.csv|out.lft> [--machines N]\n"
                  "                 [--jobs SPEC] [--seed N] [--degraded F]\n"
-                 "                 [--drop F] [--format csv|lft]\n";
+                 "                 [--drop F] [--straggler j:r:b:e[:slow]]\n"
+                 "                 [--format csv|lft]\n";
     return 2;
   }
   if (format.empty()) {
@@ -113,6 +145,14 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     for (const JobSimConfig& job : parse_jobs(jobs_spec)) {
       cfg.jobs.push_back({job, {}});
+    }
+    for (const StragglerArg& s : stragglers) {
+      if (s.job >= cfg.jobs.size()) {
+        std::cerr << "gen_trace: --straggler job " << s.job
+                  << " out of range (have " << cfg.jobs.size() << " jobs)\n";
+        return 2;
+      }
+      cfg.jobs[s.job].config.stragglers.push_back(s.spec);
     }
     cfg.noise.degraded_pair_fraction = degraded;
     cfg.noise.drop_rate = drop;
@@ -138,6 +178,12 @@ int main(int argc, char** argv) {
                 << " GPUs, tp" << par.tp << "/dp" << par.dp << "/pp"
                 << par.pp << ", " << cfg.jobs[j].config.num_steps
                 << " steps\n";
+      for (const StragglerSpec& s : cfg.jobs[j].config.stragglers) {
+        std::cerr << "    straggler: rank " << s.rank << " (gpu "
+                  << sim.jobs[j].gpus[s.rank] << "), steps ["
+                  << s.step_begin << ", " << s.step_end << "], "
+                  << s.slowdown << "x\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "gen_trace: " << e.what() << '\n';

@@ -22,6 +22,12 @@
 //     --metrics-out FILE    dump the metrics registry after analysis
 //                           (Prometheus text; .json suffix -> JSON snapshot)
 //     --trace-out FILE      record pipeline spans, write Chrome trace JSON
+//     --perfetto-out FILE   export the reconstructed training timelines as
+//                           Chrome trace JSON (open in ui.perfetto.dev)
+//     --series-out FILE     export per-job per-window metrics (OpenMetrics
+//                           text; .jsonl suffix -> JSONL stream)
+//     --journal-out FILE    export the incident lifecycle journal (JSONL,
+//                           open -> update -> resolve with stable ids)
 //
 //   prism convert <in> <out> [--format csv|lft] [--ingest-threads N]
 //     converts between CSV and LFT (default output format: by <out>
@@ -56,6 +62,9 @@ struct CliOptions {
   std::size_t ingest_threads = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string perfetto_out;
+  std::string series_out;
+  std::string journal_out;
 };
 
 void usage() {
@@ -69,6 +78,8 @@ void usage() {
          "             [--no-attribute]\n"
          "             [--log-level debug|info|warn|error|off]\n"
          "             [--metrics-out FILE] [--trace-out FILE]\n"
+         "             [--perfetto-out FILE] [--series-out FILE]\n"
+         "             [--journal-out FILE]\n"
          "       prism convert <in> <out> [--format csv|lft]\n"
          "             [--ingest-threads N]\n"
          "  input format (CSV or binary LFT) is auto-detected by magic\n"
@@ -83,6 +94,14 @@ void usage() {
          "    snapshot instead)\n"
          "  --trace-out records pipeline trace spans during analysis and\n"
          "    writes Chrome trace_event JSON (open in Perfetto)\n"
+         "  --perfetto-out exports the *reconstructed job timelines* (one\n"
+         "    process per job, one track per rank, phase slices and alert\n"
+         "    instants) as Chrome trace JSON for ui.perfetto.dev\n"
+         "  --series-out exports per-job per-window metrics (step quantiles,\n"
+         "    bandwidth, bubble ratio, alerts) as OpenMetrics text; a .jsonl\n"
+         "    suffix selects the JSONL stream instead\n"
+         "  --journal-out exports the deduplicated incident lifecycle\n"
+         "    journal (JSONL: open -> update -> resolve, stable ids)\n"
          "  convert translates CSV <-> LFT (default output format by\n"
          "    extension: .lft -> lft, else csv), preserving sortedness\n";
 }
@@ -271,6 +290,18 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = need_value(i);
       if (!v) return std::nullopt;
       options.trace_out = v;
+    } else if (arg == "--perfetto-out") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.perfetto_out = v;
+    } else if (arg == "--series-out") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.series_out = v;
+    } else if (arg == "--journal-out") {
+      const char* v = need_value(i);
+      if (!v) return std::nullopt;
+      options.journal_out = v;
     } else if (arg == "--help" || arg == "-h") {
       return std::nullopt;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -286,6 +317,61 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   if (options.trace_path.empty()) return std::nullopt;
   return options;
 }
+
+/// The job-facing export sinks requested on the command line, fed one
+/// analysis window at a time and flushed to their files once the trace is
+/// exhausted. Each is a deterministic function of the (window, report,
+/// stable-ids) sequence, so repeated runs produce bit-identical files.
+struct ExportSinks {
+  std::optional<PerfettoExporter> perfetto;
+  std::optional<JobSeriesCollector> series;
+  std::optional<IncidentJournal> journal;
+
+  explicit ExportSinks(const CliOptions& options) {
+    if (!options.perfetto_out.empty()) perfetto.emplace();
+    if (!options.series_out.empty()) series.emplace();
+    if (!options.journal_out.empty()) journal.emplace();
+  }
+
+  void add_window(const WindowExportView& view) {
+    if (perfetto) perfetto->add_window(view);
+    if (series) series->add_window(view);
+    if (journal) journal->add_window(view);
+  }
+
+  /// Writes every requested sink; returns 0 or a process exit code.
+  int write_all(const CliOptions& options) {
+    const auto write = [](const std::string& path, auto&& writer) {
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "prism: cannot write " << path << '\n';
+        return false;
+      }
+      writer(out);
+      return true;
+    };
+    if (journal) journal->finish();
+    if (perfetto && !write(options.perfetto_out,
+                           [&](std::ostream& os) { perfetto->write(os); })) {
+      return 1;
+    }
+    if (series && !write(options.series_out, [&](std::ostream& os) {
+          if (options.series_out.ends_with(".jsonl")) {
+            series->write_jsonl(os);
+          } else {
+            series->write_openmetrics(os);
+          }
+        })) {
+      return 1;
+    }
+    if (journal && !write(options.journal_out, [&](std::ostream& os) {
+          journal->write_jsonl(os);
+        })) {
+      return 1;
+    }
+    return 0;
+  }
+};
 
 }  // namespace
 
@@ -349,9 +435,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       OnlineMonitor monitor(topology, monitor_config);
+      ExportSinks sinks(*options);
       std::vector<MonitorTick> ticks = monitor.ingest(trace);
       if (auto tail = monitor.flush()) ticks.push_back(std::move(*tail));
       for (const MonitorTick& tick : ticks) {
+        sinks.add_window(export_view(tick));
         if (options->json) {
           write_report_json(std::cout, tick.report);
           continue;
@@ -407,11 +495,14 @@ int main(int argc, char** argv) {
           obs::default_registry().write_prometheus(out);
         }
       }
-      return 0;
+      return sinks.write_all(*options);
     }
 
     const Prism prism(topology, prism_config);
     report = prism.analyze(trace);
+    ExportSinks sinks(*options);
+    sinks.add_window({trace.span(), &report, {}});
+    if (const int rc = sinks.write_all(*options); rc != 0) return rc;
     if (!options->trace_out.empty()) {
       obs::TraceCollector::instance().disable();
       std::ofstream out(options->trace_out);
