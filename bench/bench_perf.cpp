@@ -13,6 +13,7 @@
 #include "llmprism/common/disjoint_set.hpp"
 #include "llmprism/common/rng.hpp"
 #include "llmprism/core/comm_type.hpp"
+#include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/job_recognition.hpp"
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
@@ -23,6 +24,7 @@
 #include "llmprism/export/view.hpp"
 #include "llmprism/flow/io.hpp"
 #include "llmprism/flow/lft.hpp"
+#include "llmprism/flow/view.hpp"
 #include "llmprism/obs/metrics.hpp"
 #include "llmprism/obs/trace_span.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
@@ -124,6 +126,112 @@ void BM_PrismEndToEnd(benchmark::State& state) {
   state.counters["flows"] = static_cast<double>(sim.trace.size());
 }
 BENCHMARK(BM_PrismEndToEnd);
+
+// --- columnar stage benches ------------------------------------------------
+// The analysis plane's hot kernels over the shared single-job trace, each
+// isolated on the FlowView it consumes in Prism::analyze_sorted. Together
+// with BM_PrismEndToEnd and BM_PrismView these regenerate EXPERIMENTS.md's
+// per-stage overhead table from one bench run.
+
+struct StageFixture {
+  FlowColumns columns;               ///< sorted SoA of the shared trace
+  PairIndex index;                   ///< CSR pair index over columns
+  std::vector<CommType> flow_types;  ///< final type per trace position
+  FlowColumns dp_flows;              ///< DP-only rows (k-sigma input)
+};
+
+const StageFixture& stage_fixture() {
+  static const StageFixture fixture = [] {
+    StageFixture f;
+    FlowTrace sorted = shared_cluster().trace;
+    sorted.sort();
+    f.columns = FlowColumns(sorted);
+    const FlowView view = f.columns.view();
+    f.index = PairIndex(view);
+    benchmark::DoNotOptimize(
+        CommTypeIdentifier{}.identify(view, f.index, &f.flow_types));
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      // An in-order subsequence of a sorted view stays sorted (the
+      // FlowColumns default), so no settle pass is needed.
+      if (f.flow_types[i] == CommType::kDP) f.dp_flows.append_row(view, i);
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+// End-to-end over the FlowView entry point (the mapped-LFT path): identical
+// work to BM_PrismEndToEnd minus the AoS->SoA transpose per call.
+void BM_PrismView(benchmark::State& state) {
+  const auto& sim = shared_cluster();
+  const Prism prism(sim.topology);
+  const FlowView view = stage_fixture().columns.view();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prism.analyze(view));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.size()));
+  state.counters["flows"] = static_cast<double>(view.size());
+}
+BENCHMARK(BM_PrismView);
+
+// Radix-partitioned CSR pair-index build (counting pass + prefix sum +
+// stable scatter).
+void BM_StagePairIndex(benchmark::State& state) {
+  const FlowView view = stage_fixture().columns.view();
+  for (auto _ : state) {
+    const PairIndex index(view);
+    benchmark::DoNotOptimize(index.num_flows());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.size()));
+}
+BENCHMARK(BM_StagePairIndex);
+
+// Comm-type classification over the prebuilt index, including the per-flow
+// type fill (exactly what the per-job fan-out runs).
+void BM_StageCommType(benchmark::State& state) {
+  const StageFixture& f = stage_fixture();
+  const FlowView view = f.columns.view();
+  const CommTypeIdentifier identifier;
+  std::vector<CommType> flow_types;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identifier.identify(view, f.index, &flow_types));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.size()));
+}
+BENCHMARK(BM_StageCommType);
+
+// Timeline reconstruction from precomputed per-flow types: the columnar
+// event scan, per-GPU counting gather, and BOCD step segmentation.
+void BM_StageTimeline(benchmark::State& state) {
+  const StageFixture& f = stage_fixture();
+  const FlowView view = f.columns.view();
+  const TimelineReconstructor reconstructor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reconstructor.reconstruct_all(view, f.flow_types, nullptr, {}));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.size()));
+}
+BENCHMARK(BM_StageTimeline);
+
+// Columnar k-sigma switch-bandwidth extraction over the DP-only rows
+// (per-switch sample gather across the CSR hop columns + outlier rule).
+void BM_StageKSigma(benchmark::State& state) {
+  const StageFixture& f = stage_fixture();
+  const FlowView dp_view = f.dp_flows.view();
+  const Diagnoser diagnoser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagnoser.switch_bandwidth(dp_view));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * dp_view.size()));
+  state.counters["dp_flows"] = static_cast<double>(dp_view.size());
+}
+BENCHMARK(BM_StageKSigma);
 
 ClusterSimResult& shared_multi_job_cluster() {
   // Eight 16-GPU tenants (2 machines each): the multi-tenant window shape

@@ -105,15 +105,38 @@ class BocdDetector {
   };
 
   [[nodiscard]] double log_predictive(const RunComponent& c, double x) const;
+  /// Posterior predictive in linear space (what observe() actually needs).
+  /// With an integer nu (any half-integral prior_alpha, including the
+  /// default 1.0) the Student-t power (1 + d^2/(nu s2))^-(nu+1)/2 is an
+  /// integer/half-integer power, evaluated by repeated squaring plus at
+  /// most one sqrt — no log/log1p/exp per component. Non-half-integral
+  /// priors fall back to exp(log_predictive()).
+  [[nodiscard]] double predictive(const RunComponent& c, double x) const;
   /// lgamma((nu+1)/2) - lgamma(nu/2) for the run-length-r posterior
   /// (nu = 2*(prior_alpha + r/2)), extended lazily. The term depends only
   /// on how many observations the run absorbed, and the two lgamma calls
   /// dominate the per-component predictive cost.
   [[nodiscard]] double lgamma_ratio(std::size_t run_length) const;
 
+  /// Per-run-length constants of the fast predictive; everything data-
+  /// independent (run length fixes nu, kappa, alpha — only beta and the
+  /// mean vary with the absorbed observations).
+  struct PredictiveCoeff {
+    double norm = 0.0;          ///< Gamma ratio / sqrt(nu * pi)
+    double inv_nu = 0.0;        ///< 1 / nu
+    double kappa_factor = 0.0;  ///< (kappa+1) / (alpha*kappa); s2 = beta * kf
+    std::size_t power = 0;      ///< nu + 1 (integer by construction)
+  };
+  [[nodiscard]] const PredictiveCoeff& predictive_coeff(
+      std::size_t run_length) const;
+
   BocdConfig config_;
+  /// True when 2*prior_alpha is integral, making every nu an integer and
+  /// the fast predictive exact for the model (set once in the ctor).
+  bool integral_nu_ = false;
   std::vector<RunComponent> components_;
   mutable std::vector<double> lgamma_ratio_cache_;
+  mutable std::vector<PredictiveCoeff> predictive_coeff_cache_;
   std::vector<RunComponent> grown_scratch_;
   double last_cp_probability_ = 0.0;
   double last_recent_probability_ = 0.0;

@@ -43,6 +43,7 @@
 #include "llmprism/core/diagnosis.hpp"
 #include "llmprism/core/timeline.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -161,7 +162,8 @@ struct AttributionResult {
 /// passed as pointers/spans so this header does not depend on prism.hpp.
 struct JobAttributionInput {
   JobId id;
-  const FlowTrace* trace = nullptr;            ///< the job's flows (sorted)
+  /// The job's flows (sorted, columnar — what JobAnalysis holds).
+  const FlowColumns* trace = nullptr;
   const CommTypeResult* comm_types = nullptr;  ///< pairs + DP components
   std::span<const GpuTimeline> timelines;
   std::span<const StepAlert> step_alerts;
@@ -193,6 +195,11 @@ class Attributor {
   /// one entry per component, aligned with `dp_components`).
   [[nodiscard]] static std::vector<std::vector<SwitchId>> group_switch_sets(
       const FlowTrace& job_trace,
+      const std::vector<std::vector<GpuId>>& dp_components);
+  /// Columnar overload (same output): reads src/dst plus the CSR switch
+  /// paths, no FlowRecord is materialized.
+  [[nodiscard]] static std::vector<std::vector<SwitchId>> group_switch_sets(
+      const FlowView& job_flows,
       const std::vector<std::vector<GpuId>>& dp_components);
 
  private:

@@ -22,6 +22,7 @@
 #include "llmprism/common/comm_type.hpp"
 #include "llmprism/common/ids.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -133,6 +134,14 @@ class CommTypeIdentifier {
   /// bit-identical to before the session layer existed.
   [[nodiscard]] CommTypeResult identify(
       const FlowTrace& job_trace, const PairIndex& index,
+      std::vector<CommType>* flow_types = nullptr,
+      CommTypeCarry* carry = nullptr) const;
+
+  /// Columnar core: identical semantics over a non-owning SoA view (the
+  /// other overloads delegate here after a transpose). Reads only the
+  /// start_ns and bytes columns — never materializes a FlowRecord.
+  [[nodiscard]] CommTypeResult identify(
+      const FlowView& view, const PairIndex& index,
       std::vector<CommType>* flow_types = nullptr,
       CommTypeCarry* carry = nullptr) const;
 

@@ -21,6 +21,7 @@
 
 #include "llmprism/core/job_recognition.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -52,6 +53,20 @@ class FlowRouter {
 
   /// Route every flow of `trace` to its job in one ordered pass.
   [[nodiscard]] Result route(const FlowTrace& trace) const;
+
+  struct ColumnarResult {
+    /// Per-job columns, input order preserved within each job (born sorted
+    /// when the input view is sorted — a subsequence of a sorted sequence).
+    std::vector<FlowColumns> job_columns;
+    std::uint64_t flows_routed = 0;
+    std::uint64_t flows_routed_via_dst = 0;
+    std::uint64_t flows_unattributed = 0;
+  };
+
+  /// Columnar routing: two passes over the src/dst columns (count per job,
+  /// prefix-size the targets, then gather) without ever materializing a
+  /// FlowRecord.
+  [[nodiscard]] ColumnarResult route(const FlowView& view) const;
 
   [[nodiscard]] std::size_t num_jobs() const { return num_jobs_; }
 

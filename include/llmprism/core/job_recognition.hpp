@@ -56,6 +56,11 @@ class JobRecognizer {
   /// cross-machine traffic in the window cannot be observed and are absent.
   [[nodiscard]] JobRecognitionResult recognize(const FlowTrace& trace) const;
 
+  /// Columnar overload: reads only the src/dst columns; the partition is a
+  /// pure function of the undirected edge set, so both overloads agree
+  /// bit for bit on the same flows.
+  [[nodiscard]] JobRecognitionResult recognize(const FlowView& view) const;
+
  private:
   const ClusterTopology& topology_;
   JobRecognitionConfig config_;

@@ -89,6 +89,11 @@ class OnlineMonitor {
   /// still produced in time order and are identical to sequential ingestion.
   std::vector<MonitorTick> ingest(const FlowTrace& batch);
 
+  /// Columnar overload — the streaming path for mapped LFT input: rows are
+  /// gathered straight from the view's columns into the reorder buffer, no
+  /// FlowRecord is materialized. Identical ticks for identical flows.
+  std::vector<MonitorTick> ingest(const FlowView& batch);
+
   /// Close and analyze the current partial window (end of feed / shutdown).
   /// Returns nothing if no flows are buffered.
   std::optional<MonitorTick> flush();
@@ -110,7 +115,7 @@ class OnlineMonitor {
   }
 
  private:
-  MonitorTick analyze_window(TimeWindow window, FlowTrace flows);
+  MonitorTick analyze_window(TimeWindow window, FlowColumns flows);
   /// Stable-id assignment + stats, applied to ticks strictly in time order
   /// (this is what keeps ids independent of window-analysis scheduling).
   void finish_tick(MonitorTick& tick);
@@ -125,9 +130,10 @@ class OnlineMonitor {
   /// configuration is single-threaded or carry_state serializes windows.
   std::unique_ptr<ThreadPool> window_pool_;
 
-  /// Reorder buffer; invariant: always sorted (each ingest batch is
-  /// sorted once and merged in, so window slicing is pure binary search).
-  FlowTrace buffer_;
+  /// Reorder buffer, columnar; invariant: always sorted (each ingest batch
+  /// is sorted once and merged in, so window slicing is pure binary search
+  /// over the start_ns column yielding zero-copy FlowView subviews).
+  FlowColumns buffer_;
   bool window_origin_set_ = false;
   TimeNs window_begin_ = 0;   ///< begin of the oldest un-analyzed window
   TimeNs watermark_ = 0;      ///< latest flow start seen

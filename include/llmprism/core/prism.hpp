@@ -24,6 +24,7 @@
 #include "llmprism/core/session.hpp"
 #include "llmprism/core/timeline.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 #include "llmprism/topology/topology.hpp"
 
 namespace llmprism {
@@ -57,7 +58,10 @@ struct PrismConfig {
 struct JobAnalysis {
   JobId id;                 ///< index within this report
   RecognizedJob job;
-  FlowTrace trace;          ///< the job's flows (time-sorted)
+  /// The job's flows (time-sorted, columnar). Exposes the FlowTrace read
+  /// API (size / operator[] / value iteration); report consumers that
+  /// need raw columns use trace.view().
+  FlowColumns trace;
   CommTypeResult comm_types;
   /// The job's reconstructed 3D layout (tp/dp/pp/micro-batches).
   InferredParallelism inferred;
@@ -148,13 +152,22 @@ class Prism {
   [[nodiscard]] PrismReport analyze(const FlowTrace& trace,
                                     PrismSession* session) const;
 
+  /// Columnar entry point: analyze a non-owning SoA view — e.g. straight
+  /// off a MappedFlowTrace (`mapped.view()`), zero flow-array copies on a
+  /// sorted input. The report is byte-identical to the AoS overloads on
+  /// the same flows; an unsorted view is argsort-gathered into sorted
+  /// columns once (the boundary sort), never mutated in place.
+  [[nodiscard]] PrismReport analyze(const FlowView& view) const;
+  [[nodiscard]] PrismReport analyze(const FlowView& view,
+                                    PrismSession* session) const;
+
   /// Resolved fan-out width (>= 1).
   [[nodiscard]] std::size_t num_threads() const;
 
  private:
-  /// The pipeline body; `trace` is known-sorted (the public entry point
-  /// performs the one boundary sort when needed).
-  [[nodiscard]] PrismReport analyze_sorted(const FlowTrace& trace,
+  /// The pipeline body; `view` is known-sorted (the public entry points
+  /// perform the one boundary sort when needed).
+  [[nodiscard]] PrismReport analyze_sorted(const FlowView& view,
                                            PrismSession* session) const;
 
   const ClusterTopology& topology_;

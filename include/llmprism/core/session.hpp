@@ -150,6 +150,8 @@ class PrismSession {
   /// True when `trace`'s communication pair set equals the cached one, so
   /// cached_recognition()/cached_router() may be reused for this window.
   [[nodiscard]] bool probe_recognition(const FlowTrace& trace);
+  /// Columnar overload; reads only the src/dst columns.
+  [[nodiscard]] bool probe_recognition(const FlowView& view);
   [[nodiscard]] const JobRecognitionResult& cached_recognition() const {
     return recognition_;
   }
@@ -174,6 +176,10 @@ class PrismSession {
   [[nodiscard]] bool hold_tail() const { return hold_tail_; }
 
  private:
+  /// Shared tail of both probe_recognition overloads: compare probe_pairs_
+  /// against the cached set and count the outcome.
+  [[nodiscard]] bool finish_probe();
+
   SessionConfig config_;
   SessionCounters counters_;
 

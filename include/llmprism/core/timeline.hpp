@@ -17,6 +17,7 @@
 #include "llmprism/common/comm_type.hpp"
 #include "llmprism/common/ids.hpp"
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -142,6 +143,14 @@ class TimelineReconstructor {
   /// `ctx.carry == nullptr` this is exactly the cold overload.
   [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
       const FlowTrace& job_trace, std::span<const CommType> flow_types,
+      SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const;
+
+  /// Columnar core the other overloads delegate to: the event scan reads
+  /// the SoA columns directly and buckets per GPU with a dense counting
+  /// gather (counts + prefix sum + scatter) instead of a hash map of
+  /// vectors. Identical output, including GPU order (ascending).
+  [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
+      const FlowView& view, std::span<const CommType> flow_types,
       SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const;
 
  private:

@@ -49,6 +49,7 @@
 #include <string_view>
 
 #include "llmprism/flow/trace.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -123,7 +124,13 @@ class MappedFlowTrace {
   [[nodiscard]] std::span<const std::uint64_t> switch_offsets() const;
   [[nodiscard]] std::span<const std::uint32_t> switch_ids() const;
 
-  /// Materialize one record (i < size()).
+  /// Non-owning columnar view straight over the mapping — the zero-copy
+  /// input type of the analysis plane. Same lifetime rules as the column
+  /// spans: invalidated by destruction or move of this reader.
+  [[nodiscard]] FlowView view() const;
+
+  /// Materialize one record. Bounds are the caller's contract (asserted in
+  /// debug builds only — no exception branch in per-record paths).
   [[nodiscard]] FlowRecord record(std::size_t i) const;
   /// Materialize the whole trace. Preserves file row order; born-sorted
   /// (no later physical sort) when the sorted flag is set.

@@ -23,6 +23,8 @@
 
 namespace llmprism {
 
+struct FlowView;
+
 class FlowTrace {
  public:
   FlowTrace() = default;
@@ -107,6 +109,11 @@ class PairIndex {
 
   PairIndex() = default;
   explicit PairIndex(const FlowTrace& trace);
+  /// Columnar build: radix-partitioned grouping (counting pass + prefix
+  /// sum + stable scatter over hash buckets) instead of per-flow
+  /// unordered_map interning. Produces the identical index — dense ids in
+  /// first-appearance order, positions in trace order within each pair.
+  explicit PairIndex(const FlowView& view);
 
   [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
   [[nodiscard]] std::size_t num_flows() const { return pair_of_flow_.size(); }

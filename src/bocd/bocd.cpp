@@ -55,6 +55,19 @@ double log_student_t(double x, double nu, double mu, double s2,
          (nu + 1.0) / 2.0 * std::log1p(d * d / (nu * s2));
 }
 
+/// base^e by repeated squaring. Overflow to inf is benign for the
+/// predictive (base >= 1, so 1/inf -> 0 — the same underflow the exp()
+/// path produces for a hopeless hypothesis).
+double powi(double base, std::size_t e) {
+  double r = 1.0;
+  while (e != 0) {
+    if ((e & 1u) != 0) r *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return r;
+}
+
 }  // namespace
 
 BocdDetector::BocdDetector(BocdConfig config) : config_(config) {
@@ -69,6 +82,11 @@ BocdDetector::BocdDetector(BocdConfig config) : config_(config) {
       config_.prior_beta <= 0.0) {
     throw std::invalid_argument("bocd: prior parameters must be positive");
   }
+  // nu = 2*prior_alpha + run_length: integral for any half-integral prior
+  // shape (the default 1.0 included), which unlocks the repeated-squaring
+  // predictive in observe()'s inner loop.
+  const double two_alpha = 2.0 * config_.prior_alpha;
+  integral_nu_ = two_alpha == std::floor(two_alpha) && two_alpha < 1e9;
   reset();
 }
 
@@ -111,6 +129,45 @@ double BocdDetector::log_predictive(const RunComponent& c, double x) const {
   return log_student_t(x, nu, c.mean, s2, lgamma_ratio(c.run_length));
 }
 
+const BocdDetector::PredictiveCoeff& BocdDetector::predictive_coeff(
+    std::size_t run_length) const {
+  // Like lgamma_ratio(): kappa = prior_kappa + r and alpha =
+  // prior_alpha + r/2 exactly, so caching by run length is exact.
+  while (predictive_coeff_cache_.size() <= run_length) {
+    const auto r = static_cast<double>(predictive_coeff_cache_.size());
+    const double alpha = config_.prior_alpha + 0.5 * r;
+    const double kappa = config_.prior_kappa + r;
+    const double nu = 2.0 * alpha;
+    PredictiveCoeff coeff;
+    coeff.norm =
+        std::exp(lgamma_ratio(predictive_coeff_cache_.size())) /
+        std::sqrt(nu * M_PI);
+    coeff.inv_nu = 1.0 / nu;
+    coeff.kappa_factor = (kappa + 1.0) / (alpha * kappa);
+    coeff.power = static_cast<std::size_t>(nu) + 1;
+    predictive_coeff_cache_.push_back(coeff);
+  }
+  return predictive_coeff_cache_[run_length];
+}
+
+double BocdDetector::predictive(const RunComponent& c, double x) const {
+  if (!integral_nu_) return std::exp(log_predictive(c, x));
+  // Student-t density with integer nu, evaluated directly in linear space:
+  //   t(x) = norm / sqrt(s2) * (1 + d^2/(nu s2))^-(nu+1)/2
+  // The power has integral nu+1, so u^(nu+1) comes from repeated squaring
+  // and the final halving is one sqrt — replacing the log/log1p/exp chain
+  // that dominated observe().
+  const PredictiveCoeff& k = predictive_coeff(c.run_length);
+  const double s2 = c.beta * k.kappa_factor;
+  const double d = x - c.mean;
+  const double u = 1.0 + d * d * k.inv_nu / s2;
+  // u^((nu+1)/2) with the halving split out first, so the intermediate
+  // overflows only where the result itself does.
+  double p = powi(u, k.power >> 1);
+  if ((k.power & 1u) != 0) p *= std::sqrt(u);
+  return k.norm / (std::sqrt(s2) * p);
+}
+
 double BocdDetector::observe(double x) {
   const double hazard = 1.0 / config_.hazard_lambda;
 
@@ -123,7 +180,7 @@ double BocdDetector::observe(double x) {
   prior.kappa = config_.prior_kappa;
   prior.alpha = config_.prior_alpha;
   prior.beta = config_.prior_beta;
-  const double cp_mass = std::exp(log_predictive(prior, x)) * hazard;
+  const double cp_mass = predictive(prior, x) * hazard;
 
   // Growth branch: each run hypothesis absorbs x. (Member scratch: one
   // observation is one inner-loop iteration of the whole pipeline, so a
@@ -132,7 +189,7 @@ double BocdDetector::observe(double x) {
   grown.clear();
   grown.reserve(components_.size() + 1);
   for (const RunComponent& c : components_) {
-    const double pred = std::exp(log_predictive(c, x));
+    const double pred = predictive(c, x);
     RunComponent g = c;
     g.run_length = c.run_length + 1;
     g.probability = c.probability * pred * (1.0 - hazard);

@@ -192,6 +192,33 @@ std::vector<std::vector<SwitchId>> Attributor::group_switch_sets(
   return sets;
 }
 
+std::vector<std::vector<SwitchId>> Attributor::group_switch_sets(
+    const FlowView& job_flows,
+    const std::vector<std::vector<GpuId>>& dp_components) {
+  std::unordered_map<GpuId, std::size_t> comp_of;
+  for (std::size_t c = 0; c < dp_components.size(); ++c) {
+    for (const GpuId g : dp_components[c]) comp_of.emplace(g, c);
+  }
+  std::vector<std::vector<SwitchId>> sets(dp_components.size());
+  for (std::size_t i = 0; i < job_flows.size(); ++i) {
+    const auto a = comp_of.find(GpuId(job_flows.src[i]));
+    const auto b = comp_of.find(GpuId(job_flows.dst[i]));
+    // Same recovered component on both ends <=> a DP ring flow (PP edges
+    // connect distinct pipeline stages, hence distinct components).
+    if (a == comp_of.end() || b == comp_of.end() || a->second != b->second) {
+      continue;
+    }
+    for (const std::uint32_t sw : job_flows.switches(i)) {
+      sets[a->second].push_back(SwitchId(sw));
+    }
+  }
+  for (std::vector<SwitchId>& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return sets;
+}
+
 AttributionResult Attributor::attribute(
     std::span<const JobAttributionInput> jobs,
     std::span<const SwitchBandwidthAlert> switch_bandwidth_alerts,
@@ -214,7 +241,7 @@ AttributionResult Attributor::attribute(
     std::vector<std::vector<SwitchId>> group_switches;
     if (job.trace != nullptr && job.comm_types != nullptr) {
       group_switches =
-          group_switch_sets(*job.trace, job.comm_types->dp_components);
+          group_switch_sets(job.trace->view(), job.comm_types->dp_components);
     }
 
     // --- 1. cluster the cross-group alerts per ring ------------------

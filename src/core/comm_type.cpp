@@ -106,10 +106,19 @@ CommTypeResult CommTypeIdentifier::identify(const FlowTrace& job_trace) const {
 CommTypeResult CommTypeIdentifier::identify(
     const FlowTrace& job_trace, const PairIndex& pair_index,
     std::vector<CommType>* flow_types, CommTypeCarry* carry) const {
+  // One transpose, then the columnar core; is_sorted() below settles the
+  // view's sortedness fact from the trace's cache.
+  const FlowColumns columns(job_trace);
+  return identify(columns.view(), pair_index, flow_types, carry);
+}
+
+CommTypeResult CommTypeIdentifier::identify(
+    const FlowView& view, const PairIndex& pair_index,
+    std::vector<CommType>* flow_types, CommTypeCarry* carry) const {
   CommTypeResult result;
   // CSR positions preserve trace order, so on a sorted trace every pair's
   // flows are already chronological and nothing below re-sorts.
-  const bool trace_sorted = job_trace.is_sorted();
+  const bool trace_sorted = view.sorted;
   if (carry != nullptr) {
     carry->pairs_reused = 0;
     carry->pairs_reclassified = 0;
@@ -138,7 +147,7 @@ CommTypeResult CommTypeIdentifier::identify(
         std::vector<std::uint64_t> sizes;
         sizes.reserve(flow_idxs.size());
         for (const std::size_t i : flow_idxs) {
-          sizes.push_back(job_trace[i].bytes);
+          sizes.push_back(view.bytes[i]);
         }
         const std::size_t distinct = count_distinct_sizes(std::move(sizes));
         const CommType evidence =
@@ -161,7 +170,7 @@ CommTypeResult CommTypeIdentifier::identify(
     std::vector<TimeNs> timestamps;
     timestamps.reserve(flow_idxs.size());
     for (const std::size_t i : flow_idxs) {
-      timestamps.push_back(job_trace[i].start_time);
+      timestamps.push_back(view.start_ns[i]);
     }
     // Unsorted-input fallback: order this pair's flows by time so segments
     // map back to sizes.
@@ -173,8 +182,7 @@ CommTypeResult CommTypeIdentifier::identify(
       ordered_storage.assign(flow_idxs.begin(), flow_idxs.end());
       std::stable_sort(ordered_storage.begin(), ordered_storage.end(),
                        [&](std::size_t a, std::size_t b) {
-                         return job_trace[a].start_time <
-                                job_trace[b].start_time;
+                         return view.start_ns[a] < view.start_ns[b];
                        });
       ordered = ordered_storage;
     }
@@ -197,7 +205,7 @@ CommTypeResult CommTypeIdentifier::identify(
       std::vector<std::uint64_t> sizes;
       sizes.reserve(ordered.size());
       for (const std::size_t i : ordered) {
-        sizes.push_back(job_trace[i].bytes);
+        sizes.push_back(view.bytes[i]);
       }
       std::sort(sizes.begin(), sizes.end());
       for (const std::uint64_t s : sizes) {
@@ -232,21 +240,28 @@ CommTypeResult CommTypeIdentifier::identify(
     // (3) distinct (non-artifact) flow sizes per step; Mode over steps.
     std::vector<std::int64_t> distinct_per_step;
     distinct_per_step.reserve(segment_starts.size());
-    std::unordered_set<std::size_t> seen_clusters;
+    // Distinct clusters per segment via epoch stamping: clusters are few
+    // and dense, so a stamp array beats a hash set and stays deterministic
+    // (only the count is used).
+    std::vector<std::uint32_t> cluster_stamp(clusters.size(), 0);
+    std::uint32_t epoch = 0;
     for (std::size_t s = 0; s < segment_starts.size(); ++s) {
       const std::size_t seg_begin = segment_starts[s];
       const std::size_t seg_end = s + 1 < segment_starts.size()
                                       ? segment_starts[s + 1]
                                       : ordered.size();
-      seen_clusters.clear();
+      ++epoch;
+      std::size_t seen = 0;
       for (std::size_t i = seg_begin; i < seg_end; ++i) {
-        const std::size_t c = cluster_of(job_trace[ordered[i]].bytes);
-        if (clusters[c].kept) seen_clusters.insert(c);
+        const std::size_t c = cluster_of(view.bytes[ordered[i]]);
+        if (clusters[c].kept && cluster_stamp[c] != epoch) {
+          cluster_stamp[c] = epoch;
+          ++seen;
+        }
       }
       // A segment of pure artifacts carries no size evidence: skip it.
-      if (!seen_clusters.empty()) {
-        distinct_per_step.push_back(
-            static_cast<std::int64_t>(seen_clusters.size()));
+      if (seen != 0) {
+        distinct_per_step.push_back(static_cast<std::int64_t>(seen));
       } else {
         ++result.counters.artifact_segments;
       }
@@ -318,8 +333,8 @@ CommTypeResult CommTypeIdentifier::identify(
     }
     const std::span<const std::uint32_t> pair_of_flow =
         pair_index.pair_of_flow();
-    flow_types->resize(job_trace.size());
-    for (std::size_t i = 0; i < job_trace.size(); ++i) {
+    flow_types->resize(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) {
       (*flow_types)[i] = type_of_pair[pair_of_flow[i]];
     }
   }

@@ -257,6 +257,50 @@ std::vector<GroupAlert> Diagnoser::cross_group(
   return alerts;
 }
 
+namespace {
+
+/// Highest switch id appearing in the view's hops (0 and false when there
+/// are none). Iterates per flow because a sliced view keeps absolute CSR
+/// offsets over the parent's hop storage.
+std::pair<std::uint32_t, bool> max_switch_id(const FlowView& v) {
+  std::uint32_t max_sw = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (const std::uint32_t sw : v.switches(i)) {
+      max_sw = std::max(max_sw, sw);
+      any = true;
+    }
+  }
+  return {max_sw, any};
+}
+
+}  // namespace
+
+std::vector<std::pair<SwitchId, double>> Diagnoser::per_switch_bandwidth(
+    const FlowView& dp_flows) {
+  const auto [max_sw, any] = max_switch_id(dp_flows);
+  if (!any) return {};
+  // Dense accumulation in flow order: per-switch sums see samples in the
+  // same order the AoS path fed its hash map, so the doubles are identical.
+  std::vector<double> sum(static_cast<std::size_t>(max_sw) + 1, 0.0);
+  std::vector<std::size_t> count(static_cast<std::size_t>(max_sw) + 1, 0);
+  for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+    if (dp_flows.duration_ns[i] <= 0) continue;
+    const double bw = dp_flows.bandwidth_gbps(i);
+    for (const std::uint32_t sw : dp_flows.switches(i)) {
+      sum[sw] += bw;
+      ++count[sw];
+    }
+  }
+  std::vector<std::pair<SwitchId, double>> out;
+  for (std::uint32_t sw = 0; sw <= max_sw; ++sw) {
+    if (count[sw] != 0) {
+      out.emplace_back(SwitchId(sw), sum[sw] / static_cast<double>(count[sw]));
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<SwitchId, double>> Diagnoser::per_switch_bandwidth(
     const FlowTrace& dp_flows) {
   struct Acc {
@@ -282,6 +326,42 @@ std::vector<std::pair<SwitchId, double>> Diagnoser::per_switch_bandwidth(
 }
 
 std::vector<std::pair<SwitchId, double>>
+Diagnoser::per_switch_bandwidth_percentile(const FlowView& dp_flows,
+                                           double p) {
+  const auto [max_sw, any] = max_switch_id(dp_flows);
+  if (!any) return {};
+  // CSR sample gather: count per switch, prefix sum, scatter bandwidths.
+  // The percentile depends only on each switch's sample multiset, so the
+  // gather order cannot perturb the result.
+  const std::size_t slots = static_cast<std::size_t>(max_sw) + 1;
+  std::vector<std::size_t> counts(slots + 1, 0);
+  for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+    if (dp_flows.duration_ns[i] <= 0) continue;
+    for (const std::uint32_t sw : dp_flows.switches(i)) ++counts[sw + 1];
+  }
+  for (std::size_t s = 0; s < slots; ++s) counts[s + 1] += counts[s];
+  std::vector<double> samples(counts[slots]);
+  {
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+      if (dp_flows.duration_ns[i] <= 0) continue;
+      const double bw = dp_flows.bandwidth_gbps(i);
+      for (const std::uint32_t sw : dp_flows.switches(i)) {
+        samples[cursor[sw]++] = bw;
+      }
+    }
+  }
+  std::vector<std::pair<SwitchId, double>> out;
+  for (std::uint32_t sw = 0; sw <= max_sw; ++sw) {
+    if (counts[sw] == counts[sw + 1]) continue;
+    const std::span<const double> values(samples.data() + counts[sw],
+                                         counts[sw + 1] - counts[sw]);
+    out.emplace_back(SwitchId(sw), stats::percentile(values, p));
+  }
+  return out;
+}
+
+std::vector<std::pair<SwitchId, double>>
 Diagnoser::per_switch_bandwidth_percentile(const FlowTrace& dp_flows,
                                            double p) {
   std::unordered_map<SwitchId, std::vector<double>> samples;
@@ -302,6 +382,12 @@ Diagnoser::per_switch_bandwidth_percentile(const FlowTrace& dp_flows,
 
 std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
     const FlowTrace& dp_flows, KSigmaStats* stats) const {
+  const FlowColumns columns(dp_flows);
+  return switch_bandwidth(columns.view(), stats);
+}
+
+std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
+    const FlowView& dp_flows, KSigmaStats* stats) const {
   const auto per_switch = per_switch_bandwidth_percentile(
       dp_flows, config_.switch_health_percentile);
   std::vector<double> values;
@@ -325,33 +411,58 @@ std::vector<SwitchBandwidthAlert> Diagnoser::switch_bandwidth(
 
 std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
     const FlowTrace& dp_flows) const {
-  // Sweep line per switch: +1 at flow start, -1 at flow end.
+  const FlowColumns columns(dp_flows);
+  return switch_concurrency(columns.view());
+}
+
+std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
+    const FlowView& dp_flows) const {
+  // Sweep line per switch: +1 at flow start, -1 at flow end. Events are
+  // CSR-gathered per switch (count, prefix sum, scatter), then each
+  // switch's slice is sorted independently.
+  const auto [max_sw, any] = max_switch_id(dp_flows);
+  if (!any) return {};
   struct Event {
     TimeNs at;
     int delta;
   };
-  std::unordered_map<SwitchId, std::vector<Event>> events;
-  for (const FlowRecord& f : dp_flows) {
-    for (const SwitchId sw : f.switches) {
-      events[sw].push_back({f.start_time, +1});
-      events[sw].push_back({f.end_time(), -1});
+  const std::size_t slots = static_cast<std::size_t>(max_sw) + 1;
+  std::vector<std::size_t> counts(slots + 1, 0);
+  // Per-flow hop iteration (not the raw hop column): a sliced view keeps
+  // absolute CSR offsets over the parent's hop storage.
+  for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+    for (const std::uint32_t sw : dp_flows.switches(i)) counts[sw + 1] += 2;
+  }
+  for (std::size_t s = 0; s < slots; ++s) counts[s + 1] += counts[s];
+  std::vector<Event> events(counts[slots]);
+  {
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+      for (const std::uint32_t sw : dp_flows.switches(i)) {
+        events[cursor[sw]++] = {dp_flows.start_ns[i], +1};
+        events[cursor[sw]++] = {dp_flows.end_ns(i), -1};
+      }
     }
   }
   std::vector<SwitchConcurrencyAlert> alerts;
-  for (auto& [sw, evs] : events) {
-    std::sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+  for (std::uint32_t sw = 0; sw <= max_sw; ++sw) {
+    if (counts[sw] == counts[sw + 1]) continue;
+    const auto begin = events.begin() + static_cast<std::ptrdiff_t>(counts[sw]);
+    const auto end =
+        events.begin() + static_cast<std::ptrdiff_t>(counts[sw + 1]);
+    std::sort(begin, end, [](const Event& a, const Event& b) {
       if (a.at != b.at) return a.at < b.at;
       return a.delta < b.delta;  // process ends before starts at ties
     });
     std::size_t current = 0;
     std::size_t peak = 0;
     TimeNs peak_at = 0;
-    for (const Event& e : evs) {
-      if (e.delta > 0) {
+    for (auto it = begin; it != end; ++it) {
+      if (it->delta > 0) {
         ++current;
         if (current > peak) {
           peak = current;
-          peak_at = e.at;
+          peak_at = it->at;
         }
       } else {
         --current;
@@ -359,23 +470,24 @@ std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
     }
     if (peak > config_.switch_dp_flow_limit) {
       SwitchConcurrencyAlert a;
-      a.switch_id = sw;
+      a.switch_id = SwitchId(sw);
       a.at = peak_at;
       a.concurrent_flows = peak;
       a.limit = config_.switch_dp_flow_limit;
       alerts.push_back(a);
     }
   }
-  std::sort(alerts.begin(), alerts.end(),
-            [](const SwitchConcurrencyAlert& a,
-               const SwitchConcurrencyAlert& b) {
-              return a.switch_id < b.switch_id;
-            });
   return alerts;
 }
 
 std::vector<SwitchBandwidthSeries> switch_bandwidth_timeline(
     const FlowTrace& dp_flows, DurationNs bucket) {
+  const FlowColumns columns(dp_flows);
+  return switch_bandwidth_timeline(columns.view(), bucket);
+}
+
+std::vector<SwitchBandwidthSeries> switch_bandwidth_timeline(
+    const FlowView& dp_flows, DurationNs bucket) {
   if (bucket <= 0) {
     throw std::invalid_argument("switch timeline: bucket must be positive");
   }
@@ -384,13 +496,15 @@ std::vector<SwitchBandwidthSeries> switch_bandwidth_timeline(
     std::size_t count = 0;
   };
   std::unordered_map<SwitchId, std::map<TimeNs, Acc>> acc;
-  for (const FlowRecord& f : dp_flows) {
-    if (f.duration <= 0) continue;
-    const TimeNs begin = f.start_time - (((f.start_time % bucket) + bucket) %
-                                         bucket);  // floor to bucket
-    for (const SwitchId sw : f.switches) {
-      Acc& a = acc[sw][begin];
-      a.sum += f.bandwidth_gbps();
+  for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+    if (dp_flows.duration_ns[i] <= 0) continue;
+    const TimeNs start = dp_flows.start_ns[i];
+    const TimeNs begin =
+        start - (((start % bucket) + bucket) % bucket);  // floor to bucket
+    const double bw = dp_flows.bandwidth_gbps(i);
+    for (const std::uint32_t sw : dp_flows.switches(i)) {
+      Acc& a = acc[SwitchId(sw)][begin];
+      a.sum += bw;
       ++a.count;
     }
   }

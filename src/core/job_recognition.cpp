@@ -7,6 +7,7 @@
 
 #include "llmprism/common/disjoint_set.hpp"
 #include "llmprism/common/stats.hpp"
+#include "llmprism/flow/view.hpp"
 
 namespace llmprism {
 
@@ -19,28 +20,63 @@ JobRecognizer::JobRecognizer(const ClusterTopology& topology,
   }
 }
 
-JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
-  JobRecognitionResult result;
+namespace {
 
-  // ---- phase 1: union endpoints of every flow (Alg. 1 lines 3-7) ----
-  // Dense-index the endpoints so the disjoint-set stays compact even on a
-  // cluster with tens of thousands of GPUs.
+/// Phase-1 endpoint interning + union, shared by both recognize()
+/// overloads. `each_edge(fn)` must invoke fn(src, dst) once per flow, in
+/// any order (the partition depends only on the edge set).
+struct EndpointUnion {
   std::unordered_map<GpuId, std::size_t> index_of;
   std::vector<GpuId> gpu_of;
-  auto intern = [&](GpuId gpu) {
-    const auto [it, inserted] = index_of.emplace(gpu, gpu_of.size());
-    if (inserted) gpu_of.push_back(gpu);
-    return it->second;
-  };
-  // First pass collects endpoints (DisjointSet needs a fixed size).
-  for (const FlowRecord& f : trace) {
-    intern(f.src);
-    intern(f.dst);
+  DisjointSet sets{0};
+
+  template <typename EachEdge>
+  explicit EndpointUnion(EachEdge&& each_edge) {
+    auto intern = [&](GpuId gpu) {
+      const auto [it, inserted] = index_of.emplace(gpu, gpu_of.size());
+      if (inserted) gpu_of.push_back(gpu);
+      return it->second;
+    };
+    // First pass collects endpoints (DisjointSet needs a fixed size).
+    each_edge([&](GpuId src, GpuId dst) {
+      intern(src);
+      intern(dst);
+    });
+    sets = DisjointSet(gpu_of.size());
+    each_edge([&](GpuId src, GpuId dst) {
+      sets.unite(index_of.at(src), index_of.at(dst));
+    });
   }
-  DisjointSet sets(gpu_of.size());
-  for (const FlowRecord& f : trace) {
-    sets.unite(index_of.at(f.src), index_of.at(f.dst));
-  }
+};
+
+JobRecognitionResult recognize_endpoints(const ClusterTopology& topology,
+                                         const JobRecognitionConfig& config,
+                                         EndpointUnion&& endpoints);
+
+}  // namespace
+
+JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
+  return recognize_endpoints(topology_, config_, EndpointUnion([&](auto&& fn) {
+    for (const FlowRecord& f : trace) fn(f.src, f.dst);
+  }));
+}
+
+JobRecognitionResult JobRecognizer::recognize(const FlowView& view) const {
+  return recognize_endpoints(topology_, config_, EndpointUnion([&](auto&& fn) {
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      fn(GpuId(view.src[i]), GpuId(view.dst[i]));
+    }
+  }));
+}
+
+namespace {
+
+JobRecognitionResult recognize_endpoints(const ClusterTopology& topology,
+                                         const JobRecognitionConfig& config,
+                                         EndpointUnion&& endpoints) {
+  JobRecognitionResult result;
+  std::vector<GpuId>& gpu_of = endpoints.gpu_of;
+  DisjointSet& sets = endpoints.sets;
 
   const auto components = sets.groups(/*include_singletons=*/false);
   result.num_cross_machine_clusters = components.size();
@@ -55,7 +91,7 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
     std::unordered_set<MachineId> machines;
     for (const std::size_t idx : comp) {
       gpus.push_back(gpu_of[idx]);
-      machines.insert(topology_.machine_of(gpu_of[idx]));
+      machines.insert(topology.machine_of(gpu_of[idx]));
     }
     std::sort(gpus.begin(), gpus.end());
     clusters.push_back(std::move(gpus));
@@ -63,7 +99,7 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
   }
 
   DisjointSet cluster_sets(clusters.size());
-  if (config_.jaccard_threshold == 1.0) {
+  if (config.jaccard_threshold == 1.0) {
     // Exact machine-set equality: hash by canonical key, O(C).
     std::map<std::vector<MachineId>, std::size_t> by_key;
     for (std::size_t c = 0; c < clusters.size(); ++c) {
@@ -78,7 +114,7 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
     for (std::size_t i = 0; i < clusters.size(); ++i) {
       for (std::size_t j = i + 1; j < clusters.size(); ++j) {
         if (stats::jaccard(machine_sets[i], machine_sets[j]) >=
-            config_.jaccard_threshold) {
+            config.jaccard_threshold) {
           cluster_sets.unite(i, j);
         }
       }
@@ -108,9 +144,9 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
     job.machines.assign(machines.begin(), machines.end());
     std::sort(job.machines.begin(), job.machines.end());
 
-    if (config_.include_machine_local_gpus) {
+    if (config.include_machine_local_gpus) {
       for (const MachineId m : job.machines) {
-        const auto local = topology_.gpus_on(m);
+        const auto local = topology.gpus_on(m);
         job.gpus.insert(job.gpus.end(), local.begin(), local.end());
       }
       std::sort(job.gpus.begin(), job.gpus.end());
@@ -126,5 +162,7 @@ JobRecognitionResult JobRecognizer::recognize(const FlowTrace& trace) const {
             });
   return result;
 }
+
+}  // namespace
 
 }  // namespace llmprism

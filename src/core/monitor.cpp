@@ -133,7 +133,7 @@ void OnlineMonitor::finish_tick(MonitorTick& tick) {
 }
 
 MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
-                                          FlowTrace flows) {
+                                          FlowColumns flows) {
   const obs::Span span("monitor.window");
   MonitorTick tick;
   tick.window = window;
@@ -143,9 +143,9 @@ MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
     // the trailing step is emitted now (hold_tail = false) — together with
     // any burst the previous window held back.
     session_->begin_window(window.end, /*hold_tail=*/false);
-    tick.report = prism_.analyze(flows, session_.get());
+    tick.report = prism_.analyze(flows.view(), session_.get());
   } else {
-    tick.report = prism_.analyze(flows);
+    tick.report = prism_.analyze(flows.view());
   }
   finish_tick(tick);
   monitor_metrics().windows_completed.inc();
@@ -153,30 +153,42 @@ MonitorTick OnlineMonitor::analyze_window(TimeWindow window,
 }
 
 std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
+  // One transpose into columns, then the columnar path: a single ingest
+  // implementation is what keeps both entry points tick-identical.
+  const FlowColumns columns(batch);
+  return ingest(columns.view());
+}
+
+std::vector<MonitorTick> OnlineMonitor::ingest(const FlowView& batch) {
   const obs::Span ingest_span("monitor.ingest");
   MonitorMetrics& metrics = monitor_metrics();
   std::size_t batch_ingested = 0;
   std::size_t batch_dropped = 0;
-  FlowTrace accepted;
+  FlowColumns accepted;
   accepted.reserve(batch.size());
-  for (const FlowRecord& f : batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const TimeNs start = batch.start_ns[i];
     if (!window_origin_set_) {
-      window_begin_ = f.start_time;
+      window_begin_ = start;
       window_origin_set_ = true;
-      watermark_ = f.start_time;
+      watermark_ = start;
     }
-    if (f.start_time < window_begin_) {
+    if (start < window_begin_) {
       // Arrived later than the reorder slack allows: its window is already
       // closed and analyzed. Count and drop.
       ++stats_.flows_dropped_late;
       ++batch_dropped;
       continue;
     }
-    accepted.add(f);
-    watermark_ = std::max(watermark_, f.start_time);
+    accepted.append_row(batch, i);
+    watermark_ = std::max(watermark_, start);
     ++stats_.flows_ingested;
     ++batch_ingested;
   }
+  // append_row does not track order incrementally; settle the flag so the
+  // sort below stays a no-op for in-order feeds. A sorted batch stays
+  // sorted through drops (a subsequence); otherwise one O(N) verify.
+  accepted.sorted = batch.sorted || accepted.view().verify_sorted();
   metrics.flows_ingested.inc(batch_ingested);
   metrics.flows_dropped_late.inc(batch_dropped);
 
@@ -187,18 +199,19 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
   buffer_.merge_sorted(std::move(accepted));
 
   // Slice off every window whose end the watermark has safely passed, in
-  // one pass of binary searches over the sorted buffer; the consumed
-  // prefix is then dropped once, instead of copying the remainder per
-  // window.
-  std::vector<std::pair<TimeWindow, FlowTrace>> closed;
+  // one pass of binary searches over the sorted buffer's start_ns column.
+  // The slices are zero-copy FlowView subviews into the buffer; it stays
+  // untouched until every window is analyzed, then the consumed prefix is
+  // dropped once.
+  std::vector<std::pair<TimeWindow, FlowView>> closed;
+  const FlowView buffered = buffer_.view();
   while (window_origin_set_ &&
          watermark_ - config_.reorder_slack >=
              window_begin_ + config_.window) {
     const TimeWindow window{window_begin_, window_begin_ + config_.window};
-    closed.emplace_back(window, buffer_.window(window));
+    closed.emplace_back(window, buffered.window(window));
     window_begin_ = window.end;
   }
-  if (!closed.empty()) buffer_.drop_before(window_begin_);
 
   // Analyze the closed windows, then assign stable ids and stats
   // sequentially in time order so both are independent of scheduling.
@@ -214,7 +227,7 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
       // Every streamed window may be continued by the next one, so its
       // trailing burst is held back (hold_tail); only flush() ends the feed.
       session_->begin_window(closed[i].first.end, /*hold_tail=*/true);
-      // window() slices are born sorted; analyze verifies via the cache.
+      // window() subviews are born sorted — no verify, no copy.
       ticks[i].report = prism_.analyze(closed[i].second, session_.get());
     }
   } else {
@@ -224,6 +237,7 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
       ticks[i].report = prism_.analyze(closed[i].second);
     });
   }
+  if (!closed.empty()) buffer_.drop_before(window_begin_);
   metrics.windows_in_flight.set(0.0);
   for (MonitorTick& tick : ticks) finish_tick(tick);
   metrics.windows_completed.inc(ticks.size());
@@ -238,9 +252,9 @@ std::vector<MonitorTick> OnlineMonitor::ingest(const FlowTrace& batch) {
 std::optional<MonitorTick> OnlineMonitor::flush() {
   if (buffer_.empty()) return std::nullopt;
   // The buffer is kept sorted by ingest(); no sort needed here.
-  const TimeWindow window{window_begin_, buffer_.span().end};
-  FlowTrace flows = std::move(buffer_);
-  buffer_ = FlowTrace{};
+  const TimeWindow window{window_begin_, buffer_.view().time_span().end};
+  FlowColumns flows = std::move(buffer_);
+  buffer_ = FlowColumns{};
   window_begin_ = window.end;
   return analyze_window(window, std::move(flows));
 }

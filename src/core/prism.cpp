@@ -1,6 +1,8 @@
 #include "llmprism/core/prism.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -247,15 +249,44 @@ PrismReport Prism::analyze(const FlowTrace& trace,
   // Sort-once boundary: everything downstream (routing, per-pair CSR
   // positions, windowing, DP-run merging) relies on time order, so an
   // unsorted input is sorted exactly once here — never again per job.
+  // Both AoS overloads then transpose once into columns and run the
+  // columnar core: one pipeline for every input representation is what
+  // makes the FlowTrace and FlowView paths bit-identical by construction.
   if (!trace.is_sorted()) {
     FlowTrace sorted = trace;
     sorted.sort();
-    return analyze_sorted(sorted, session);
+    const FlowColumns columns(sorted);
+    return analyze_sorted(columns.view(), session);
   }
-  return analyze_sorted(trace, session);
+  const FlowColumns columns(trace);
+  return analyze_sorted(columns.view(), session);
 }
 
-PrismReport Prism::analyze_sorted(const FlowTrace& trace,
+PrismReport Prism::analyze(const FlowView& view) const {
+  return analyze(view, nullptr);
+}
+
+PrismReport Prism::analyze(const FlowView& view,
+                           PrismSession* session) const {
+  if (view.sorted) return analyze_sorted(view, session);
+  if (view.verify_sorted()) {
+    // Storage with no cached sortedness fact (e.g. an LFT written without
+    // the sorted flag): one O(N) verify instead of a sort.
+    FlowView sorted_view = view;
+    sorted_view.sorted = true;
+    return analyze_sorted(sorted_view, session);
+  }
+  // Boundary sort without mutating the caller's storage (it may be a
+  // read-only mapping): gather the rows into owning columns, sort those.
+  std::vector<std::uint32_t> rows(view.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  FlowColumns sorted =
+      FlowColumns::gather(view, rows, /*rows_sorted_subset=*/false);
+  sorted.sort();
+  return analyze_sorted(sorted.view(), session);
+}
+
+PrismReport Prism::analyze_sorted(const FlowView& view,
                                   PrismSession* session) const {
   PrismReport report;
   PrismMetrics& metrics = prism_metrics();
@@ -266,7 +297,7 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   // trace's own end, with no tail hold-back (a one-shot analysis has no
   // next window to complete a held burst).
   if (session != nullptr && !session->window_armed()) {
-    session->begin_window(trace.span().end, /*hold_tail=*/false);
+    session->begin_window(view.time_span().end, /*hold_tail=*/false);
   }
 
   // (1) job recognition. The warm fast path is gated on exact-match
@@ -280,11 +311,11 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   const JobRecognizer recognizer(topology_, config_.recognition);
   {
     const obs::Span span("prism.recognize");
-    if (try_recognition_reuse && session->probe_recognition(trace)) {
+    if (try_recognition_reuse && session->probe_recognition(view)) {
       report.recognition = session->cached_recognition();
       recognition_reused = true;
     } else {
-      report.recognition = recognizer.recognize(trace);
+      report.recognition = recognizer.recognize(view);
       if (try_recognition_reuse) session->store_recognition(report.recognition);
     }
   }
@@ -298,7 +329,7 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   // src lookup with dst fallback. A recognition-cache hit also reuses the
   // cached dense table instead of re-interning every job's GPU set.
   const std::size_t num_jobs = report.recognition.jobs.size();
-  std::vector<FlowTrace> job_traces;
+  std::vector<FlowColumns> job_columns;
   {
     const obs::Span span("prism.route");
     std::optional<FlowRouter> local_router;
@@ -307,13 +338,13 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
             ? session->cached_router()
             : local_router.emplace(
                   std::span<const RecognizedJob>(report.recognition.jobs));
-    FlowRouter::Result routed = router.route(trace);
-    job_traces = std::move(routed.job_traces);
+    FlowRouter::ColumnarResult routed = router.route(view);
+    job_columns = std::move(routed.job_columns);
     report.telemetry.flows_routed = routed.flows_routed;
     report.telemetry.flows_routed_via_dst = routed.flows_routed_via_dst;
     report.telemetry.flows_unattributed = routed.flows_unattributed;
   }
-  report.telemetry.flows_total = trace.size();
+  report.telemetry.flows_total = view.size();
 
   // Resolve per-job warm states sequentially before the fan-out (the map
   // may rehash on insert; references stay valid — it is node-based — but
@@ -336,7 +367,7 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   // telemetry are merged in job-id order below, which keeps the
   // cluster-wide stage's input byte-identical to the sequential path.
   std::vector<JobAnalysis> analyses(num_jobs);
-  std::vector<FlowTrace> job_dp_flows(num_jobs);
+  std::vector<FlowColumns> job_dp_flows(num_jobs);
   std::vector<SegmenterStats> timeline_stats(num_jobs);
   std::vector<KSigmaStats> ksigma_stats(num_jobs);
   parallel_for(pool_.get(), num_jobs, [&](std::size_t j) {
@@ -344,11 +375,12 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
     JobAnalysis& analysis = analyses[j];
     analysis.id = JobId(static_cast<std::uint32_t>(j));
     analysis.job = report.recognition.jobs[j];
-    analysis.trace = std::move(job_traces[j]);
+    analysis.trace = std::move(job_columns[j]);
     // Routing preserved the sorted input's order, so this is O(1) on the
     // cached flag — no per-job re-sort.
     assert(analysis.trace.is_sorted() &&
            "routing must preserve the sorted input's order");
+    const FlowView job_view = analysis.trace.view();
 
     SessionJobState* const state = job_states[j];
 
@@ -356,7 +388,7 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
     // per-flow types come back as a dense vector (one CommType per trace
     // position) shared with DP collection and timeline reconstruction.
     // With a session, last window's classifications serve as warm priors.
-    const PairIndex pair_index(analysis.trace);
+    const PairIndex pair_index(job_view);
     std::vector<CommType> flow_types;
     {
       const obs::Span span("job.comm_type", j);
@@ -365,14 +397,14 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
               ? &state->comm
               : nullptr;
       analysis.comm_types =
-          identifier.identify(analysis.trace, pair_index, &flow_types, carry);
+          identifier.identify(job_view, pair_index, &flow_types, carry);
     }
 
     // Collect this job's DP flows for cluster-wide switch diagnosis; the
-    // trace is sorted, so this run is born sorted too.
-    for (std::size_t i = 0; i < analysis.trace.size(); ++i) {
+    // trace is sorted, so this gathered subsequence is born sorted too.
+    for (std::size_t i = 0; i < job_view.size(); ++i) {
       if (flow_types[i] == CommType::kDP) {
-        job_dp_flows[j].add(analysis.trace[i]);
+        job_dp_flows[j].append_row(job_view, i);
       }
     }
 
@@ -388,7 +420,7 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
           tctx.boundary_hold = session->config().boundary_hold;
         }
         analysis.timelines = reconstructor.reconstruct_all(
-            analysis.trace, flow_types, &timeline_stats[j], tctx);
+            job_view, flow_types, &timeline_stats[j], tctx);
       }
       const obs::Span span("job.diagnosis", j);
       if (state != nullptr && session->config().ewma_baselines) {
@@ -425,7 +457,8 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   // Deterministic merge: a k-way merge of the per-job sorted DP runs,
   // ties resolved to the lower job id — O(N log J) and zero re-sorting,
   // independent of task completion order.
-  FlowTrace all_dp_flows = FlowTrace::merge_sorted_runs(std::move(job_dp_flows));
+  const FlowColumns all_dp_flows =
+      FlowColumns::merge_sorted_runs(std::move(job_dp_flows));
   for (std::size_t j = 0; j < num_jobs; ++j) {
     fold_job_telemetry(report.telemetry, report.jobs[j], timeline_stats[j],
                        ksigma_stats[j]);
@@ -435,12 +468,11 @@ PrismReport Prism::analyze_sorted(const FlowTrace& trace,
   KSigmaStats switch_stats;
   {
     const obs::Span span("prism.switch_diagnosis");
-    report.switch_bandwidth_gbps =
-        Diagnoser::per_switch_bandwidth(all_dp_flows);
+    const FlowView dp_view = all_dp_flows.view();
+    report.switch_bandwidth_gbps = Diagnoser::per_switch_bandwidth(dp_view);
     report.switch_bandwidth_alerts =
-        diagnoser.switch_bandwidth(all_dp_flows, &switch_stats);
-    report.switch_concurrency_alerts =
-        diagnoser.switch_concurrency(all_dp_flows);
+        diagnoser.switch_bandwidth(dp_view, &switch_stats);
+    report.switch_concurrency_alerts = diagnoser.switch_concurrency(dp_view);
   }
   report.telemetry.ksigma_series += switch_stats.series;
   report.telemetry.ksigma_points += switch_stats.points;

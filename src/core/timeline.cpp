@@ -22,6 +22,22 @@ TimelineEvent make_event(const FlowRecord& f, GpuId gpu, CommType type) {
   return e;
 }
 
+/// Columnar variant: same classification straight off the SoA columns.
+TimelineEvent make_event(const FlowView& v, std::size_t i, std::uint32_t gpu,
+                         CommType type) {
+  TimelineEvent e;
+  e.start = v.start_ns[i];
+  e.end = v.start_ns[i] + v.duration_ns[i];
+  const bool is_src = v.src[i] == gpu;
+  e.peer = GpuId(is_src ? v.dst[i] : v.src[i]);
+  if (type == CommType::kDP) {
+    e.kind = TimelineEventKind::kDp;
+  } else {
+    e.kind = is_src ? TimelineEventKind::kPpSend : TimelineEventKind::kPpRecv;
+  }
+  return e;
+}
+
 /// Map-probing fallback for the unordered_map-typed entry points.
 CommType type_of(const FlowRecord& f,
                  const std::unordered_map<GpuPair, CommType>& types) {
@@ -191,24 +207,85 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
 std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     const FlowTrace& job_trace, std::span<const CommType> flow_types,
     SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const {
+  const FlowColumns columns(job_trace);
+  return reconstruct_all(columns.view(), flow_types, segmenter_stats, ctx);
+}
+
+std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
+    const FlowView& view, std::span<const CommType> flow_types,
+    SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const {
   if (ctx.carry != nullptr) {
     ctx.carry->steps_held = 0;
     ctx.carry->steps_carried_in = 0;
   }
-  // Single pass over the trace: bucket every flow under both endpoints.
-  std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
+  const std::size_t n = view.size();
+  const TimelineCarryContext* carry_ctx =
+      ctx.carry != nullptr ? &ctx : nullptr;
+
+  // GPUs that must get a timeline even with no flow this window: a held
+  // carried burst would otherwise be dropped (flush after a quiet window
+  // must still emit the carried step).
+  std::vector<std::uint32_t> carry_gpus;
   if (ctx.carry != nullptr) {
-    // A GPU holding a carried burst gets a timeline even if it sent no
-    // flow this window — otherwise its held events would be dropped
-    // (flush after a quiet window must still emit the carried step).
     for (const auto& [gpu, state] : ctx.carry->per_gpu) {
-      if (!state.held_events.empty()) per_gpu.try_emplace(gpu);
+      if (!state.held_events.empty()) carry_gpus.push_back(gpu.value());
     }
+    std::sort(carry_gpus.begin(), carry_gpus.end());
   }
-  for (std::size_t i = 0; i < job_trace.size(); ++i) {
-    const FlowRecord& f = job_trace[i];
-    per_gpu[f.src].push_back(make_event(f, f.src, flow_types[i]));
-    per_gpu[f.dst].push_back(make_event(f, f.dst, flow_types[i]));
+
+  std::uint32_t max_gpu = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_gpu = std::max({max_gpu, view.src[i], view.dst[i]});
+  }
+  for (const std::uint32_t g : carry_gpus) max_gpu = std::max(max_gpu, g);
+  if (n == 0 && carry_gpus.empty()) return {};
+
+  // Dense counting gather: per-GPU event counts over the src/dst columns,
+  // prefix sum, scatter. Flow order is preserved per GPU; assemble()
+  // re-sorts anyway. Falls back to hash bucketing only if the id space is
+  // wildly sparse relative to the window (never for cluster-dense ids).
+  const std::size_t span_size = static_cast<std::size_t>(max_gpu) + 1;
+  if (span_size <= 8 * (2 * n + carry_gpus.size()) + 1024) {
+    std::vector<std::uint32_t> counts(span_size + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[view.src[i] + 1];
+      ++counts[view.dst[i] + 1];
+    }
+    std::vector<std::uint8_t> present(span_size, 0);
+    for (const std::uint32_t g : carry_gpus) present[g] = 1;
+    for (std::size_t g = 0; g < span_size; ++g) {
+      if (counts[g + 1] != 0) present[g] = 1;
+      counts[g + 1] += counts[g];
+    }
+    std::vector<TimelineEvent> flat(2 * n);
+    {
+      std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        flat[cursor[view.src[i]]++] =
+            make_event(view, i, view.src[i], flow_types[i]);
+        flat[cursor[view.dst[i]]++] =
+            make_event(view, i, view.dst[i], flow_types[i]);
+      }
+    }
+    std::vector<GpuTimeline> out;
+    for (std::size_t g = 0; g < span_size; ++g) {
+      if (!present[g]) continue;
+      out.push_back(assemble(
+          GpuId(static_cast<std::uint32_t>(g)),
+          std::vector<TimelineEvent>(flat.begin() + counts[g],
+                                     flat.begin() + counts[g + 1]),
+          config_, segmenter_stats, carry_ctx));
+    }
+    return out;
+  }
+
+  std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
+  for (const std::uint32_t g : carry_gpus) per_gpu.try_emplace(GpuId(g));
+  for (std::size_t i = 0; i < n; ++i) {
+    per_gpu[GpuId(view.src[i])].push_back(
+        make_event(view, i, view.src[i], flow_types[i]));
+    per_gpu[GpuId(view.dst[i])].push_back(
+        make_event(view, i, view.dst[i], flow_types[i]));
   }
   std::vector<GpuId> gpus;
   gpus.reserve(per_gpu.size());
@@ -217,8 +294,6 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
 
   std::vector<GpuTimeline> out;
   out.reserve(gpus.size());
-  const TimelineCarryContext* carry_ctx =
-      ctx.carry != nullptr ? &ctx : nullptr;
   for (const GpuId g : gpus) {
     out.push_back(assemble(g, std::move(per_gpu[g]), config_,
                            segmenter_stats, carry_ctx));

@@ -1,6 +1,7 @@
 #include "llmprism/flow/lft.hpp"
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -488,8 +489,21 @@ std::span<const std::uint32_t> MappedFlowTrace::switch_ids() const {
           num_switch_ids_};
 }
 
+FlowView MappedFlowTrace::view() const {
+  FlowView v;
+  v.start_ns = start_ns();
+  v.src = src();
+  v.dst = dst();
+  v.bytes = bytes();
+  v.duration_ns = duration_ns();
+  v.switch_offsets = switch_offsets();
+  v.switch_ids = switch_ids();
+  v.sorted = sorted_;
+  return v;
+}
+
 FlowRecord MappedFlowTrace::record(std::size_t i) const {
-  if (i >= num_flows_) throw std::out_of_range("MappedFlowTrace::record");
+  assert(i < num_flows_ && "MappedFlowTrace::record out of range");
   FlowRecord f;
   f.start_time = start_ns()[i];
   f.src = GpuId(src()[i]);

@@ -1,9 +1,11 @@
 #include "llmprism/flow/trace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
+#include "llmprism/flow/view.hpp"
 #include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
@@ -206,6 +208,112 @@ PairIndex::PairIndex(const FlowTrace& trace) {
   std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     positions_[cursor[pair_of_flow_[i]]++] = i;
+  }
+}
+
+namespace {
+
+/// splitmix64 finalizer — the same mix std::hash<GpuPair> uses, so bucket
+/// spread matches the proven pair-hash quality.
+inline std::uint64_t mix64(std::uint64_t k) {
+  k += 0x9e3779b97f4a7c15ULL;
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+  return k ^ (k >> 31);
+}
+
+}  // namespace
+
+PairIndex::PairIndex(const FlowView& view) {
+  const std::size_t n = view.size();
+  pair_of_flow_.resize(n);
+  if (n == 0) {
+    offsets_.assign(1, 0);
+    return;
+  }
+
+  // 1) Radix partition flow positions by the high bits of the mixed pair
+  //    key: one counting pass, prefix sum, stable scatter. Each bucket
+  //    then holds a cache-sized slice to group, instead of the whole trace
+  //    hammering one hash table.
+  const std::size_t want = std::max<std::size_t>(std::size_t{1}, n / 48);
+  const std::size_t num_buckets =
+      std::min<std::size_t>(std::size_t{1} << 16, std::bit_ceil(want));
+  const int shift = 64 - std::countr_zero(num_buckets);
+
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t pos;
+  };
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> bucket_counts(num_buckets + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = view.pair_key(i);
+    ++bucket_counts[(shift >= 64 ? 0 : mix64(keys[i]) >> shift) + 1];
+  }
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    bucket_counts[b + 1] += bucket_counts[b];
+  }
+  std::vector<Entry> scatter(n);
+  {
+    std::vector<std::uint32_t> cursor(bucket_counts.begin(),
+                                      bucket_counts.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b = shift >= 64 ? 0 : mix64(keys[i]) >> shift;
+      scatter[cursor[b]++] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+  }
+
+  // 2) Group each bucket by key. The scatter was stable, so after sorting
+  //    by (key, pos) every run of equal keys lists that pair's positions
+  //    in trace order, and the run head is the pair's first appearance.
+  struct Run {
+    std::uint32_t begin;  ///< offset into `scatter`
+    std::uint32_t count;
+  };
+  std::vector<Run> runs;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const std::size_t lo = bucket_counts[b];
+    const std::size_t hi = bucket_counts[b + 1];
+    if (lo == hi) continue;
+    std::sort(scatter.begin() + lo, scatter.begin() + hi,
+              [](const Entry& a, const Entry& c) {
+                if (a.key != c.key) return a.key < c.key;
+                return a.pos < c.pos;
+              });
+    std::size_t run_begin = lo;
+    for (std::size_t i = lo + 1; i <= hi; ++i) {
+      if (i == hi || scatter[i].key != scatter[run_begin].key) {
+        runs.push_back({static_cast<std::uint32_t>(run_begin),
+                        static_cast<std::uint32_t>(i - run_begin)});
+        run_begin = i;
+      }
+    }
+  }
+
+  // 3) Dense ids in first-appearance order: sort runs by their head
+  //    position (cost is O(P log P) over pairs, not flows).
+  std::sort(runs.begin(), runs.end(), [&](const Run& a, const Run& b) {
+    return scatter[a.begin].pos < scatter[b.begin].pos;
+  });
+
+  pairs_.reserve(runs.size());
+  id_of_.reserve(runs.size());
+  offsets_.assign(runs.size() + 1, 0);
+  positions_.resize(n);
+  for (std::size_t id = 0; id < runs.size(); ++id) {
+    const Run& run = runs[id];
+    const std::uint64_t key = scatter[run.begin].key;
+    const GpuPair p(GpuId(static_cast<std::uint32_t>(key >> 32)),
+                    GpuId(static_cast<std::uint32_t>(key)));
+    pairs_.push_back(p);
+    id_of_.emplace(p, static_cast<std::uint32_t>(id));
+    offsets_[id + 1] = offsets_[id] + run.count;
+    std::size_t cursor = offsets_[id];
+    for (std::uint32_t e = run.begin; e < run.begin + run.count; ++e) {
+      positions_[cursor++] = scatter[e].pos;
+      pair_of_flow_[scatter[e].pos] = static_cast<std::uint32_t>(id);
+    }
   }
 }
 

@@ -1,0 +1,300 @@
+#include "llmprism/flow/view.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "llmprism/obs/metrics.hpp"
+
+namespace llmprism {
+
+namespace {
+
+/// Process-wide count of SoA -> AoS materializations. The sorted-LFT fast
+/// path must keep this at zero (asserted in test_columnar_equivalence).
+obs::Counter& materializations_counter() {
+  static obs::Counter& counter = obs::default_registry().counter(
+      "llmprism_flow_materializations_total",
+      "AoS FlowTrace arrays materialized from columnar flow data (the "
+      "zero-copy analysis path performs none)");
+  return counter;
+}
+
+/// Same counter FlowTrace::sort uses: every *physical* sort of flow data,
+/// AoS or columnar, is one tick — the sort-once discipline stays
+/// observable no matter which representation backs the pipeline.
+obs::Counter& sorts_counter() {
+  static obs::Counter& counter = obs::default_registry().counter(
+      "llmprism_flowtrace_sorts_total");
+  return counter;
+}
+
+/// FlowStartTimeLess over two view rows: (start, src, dst, bytes).
+bool row_less(const FlowView& a, std::size_t i, const FlowView& b,
+              std::size_t j) {
+  if (a.start_ns[i] != b.start_ns[j]) return a.start_ns[i] < b.start_ns[j];
+  if (a.src[i] != b.src[j]) return a.src[i] < b.src[j];
+  if (a.dst[i] != b.dst[j]) return a.dst[i] < b.dst[j];
+  return a.bytes[i] < b.bytes[j];
+}
+
+}  // namespace
+
+std::size_t FlowView::lower_bound_start(TimeNs t) const {
+  const auto it = std::lower_bound(start_ns.begin(), start_ns.end(), t);
+  return static_cast<std::size_t>(it - start_ns.begin());
+}
+
+FlowView FlowView::window(TimeWindow w) const {
+  if (!sorted) {
+    throw std::logic_error("FlowView::window requires a sorted view");
+  }
+  const std::size_t lo = lower_bound_start(w.begin);
+  const std::size_t hi = lower_bound_start(w.end);
+  return slice(lo, hi < lo ? lo : hi);
+}
+
+TimeWindow FlowView::time_span() const {
+  if (empty()) return {};
+  TimeNs lo = start_ns[0];
+  TimeNs hi = end_ns(0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    lo = std::min(lo, start_ns[i]);
+    hi = std::max(hi, end_ns(i));
+  }
+  return {lo, hi};
+}
+
+bool FlowView::verify_sorted() const {
+  for (std::size_t i = 1; i < size(); ++i) {
+    if (row_less(*this, i, *this, i - 1)) return false;
+  }
+  return true;
+}
+
+FlowColumns::FlowColumns(const FlowTrace& trace) {
+  const std::size_t n = trace.size();
+  start_ns.reserve(n);
+  src.reserve(n);
+  dst.reserve(n);
+  bytes.reserve(n);
+  duration_ns.reserve(n);
+  switch_offsets.reserve(n + 1);
+  switch_offsets.push_back(0);
+  for (const FlowRecord& f : trace.flows()) {
+    start_ns.push_back(f.start_time);
+    src.push_back(f.src.value());
+    dst.push_back(f.dst.value());
+    bytes.push_back(f.bytes);
+    duration_ns.push_back(f.duration);
+    for (const SwitchId sw : f.switches) switch_ids.push_back(sw.value());
+    switch_offsets.push_back(switch_ids.size());
+  }
+  sorted = trace.is_sorted();
+}
+
+void FlowColumns::reserve(std::size_t rows, std::size_t switch_entries) {
+  start_ns.reserve(rows);
+  src.reserve(rows);
+  dst.reserve(rows);
+  bytes.reserve(rows);
+  duration_ns.reserve(rows);
+  switch_offsets.reserve(rows + 1);
+  switch_ids.reserve(switch_entries);
+}
+
+void FlowColumns::clear() {
+  start_ns.clear();
+  src.clear();
+  dst.clear();
+  bytes.clear();
+  duration_ns.clear();
+  switch_offsets.clear();
+  switch_ids.clear();
+  sorted = true;
+}
+
+void FlowColumns::push_back(const FlowRecord& f) {
+  if (sorted && !start_ns.empty()) {
+    const std::size_t last = start_ns.size() - 1;
+    const FlowRecord back = (*this)[last];
+    if (FlowStartTimeLess{}(f, back)) sorted = false;
+  }
+  if (switch_offsets.empty()) switch_offsets.push_back(0);
+  start_ns.push_back(f.start_time);
+  src.push_back(f.src.value());
+  dst.push_back(f.dst.value());
+  bytes.push_back(f.bytes);
+  duration_ns.push_back(f.duration);
+  for (const SwitchId sw : f.switches) switch_ids.push_back(sw.value());
+  switch_offsets.push_back(switch_ids.size());
+}
+
+void FlowColumns::append_row(const FlowView& v, std::size_t i) {
+  if (switch_offsets.empty()) switch_offsets.push_back(0);
+  start_ns.push_back(v.start_ns[i]);
+  src.push_back(v.src[i]);
+  dst.push_back(v.dst[i]);
+  bytes.push_back(v.bytes[i]);
+  duration_ns.push_back(v.duration_ns[i]);
+  for (const std::uint32_t sw : v.switches(i)) switch_ids.push_back(sw);
+  switch_offsets.push_back(switch_ids.size());
+}
+
+FlowColumns FlowColumns::gather(const FlowView& v,
+                                std::span<const std::uint32_t> rows,
+                                bool rows_sorted_subset) {
+  FlowColumns out;
+  std::size_t hops = 0;
+  if (!v.switch_offsets.empty()) {
+    for (const std::uint32_t r : rows) {
+      hops += v.switch_offsets[r + 1] - v.switch_offsets[r];
+    }
+  }
+  out.reserve(rows.size(), hops);
+  out.switch_offsets.push_back(0);
+  for (const std::uint32_t r : rows) {
+    out.start_ns.push_back(v.start_ns[r]);
+    out.src.push_back(v.src[r]);
+    out.dst.push_back(v.dst[r]);
+    out.bytes.push_back(v.bytes[r]);
+    out.duration_ns.push_back(v.duration_ns[r]);
+    for (const std::uint32_t sw : v.switches(r)) {
+      out.switch_ids.push_back(sw);
+    }
+    out.switch_offsets.push_back(out.switch_ids.size());
+  }
+  out.sorted = (rows_sorted_subset && v.sorted) || out.view().verify_sorted();
+  return out;
+}
+
+FlowColumns FlowColumns::merge_sorted_runs(std::vector<FlowColumns> runs) {
+  std::size_t total = 0;
+  std::size_t hops = 0;
+  for (FlowColumns& run : runs) {
+    run.sort();
+    total += run.size();
+    hops += run.switch_ids.size();
+  }
+  FlowColumns out;
+  out.reserve(total, hops);
+  out.switch_offsets.push_back(0);
+
+  // Min-heap of run indices keyed by each run's next row; ties go to the
+  // lower run index — identical discipline to FlowTrace::merge_sorted_runs.
+  std::vector<FlowView> views;
+  views.reserve(runs.size());
+  for (const FlowColumns& run : runs) views.push_back(run.view());
+  std::vector<std::size_t> heads(runs.size(), 0);
+  std::vector<std::size_t> heap;
+  heap.reserve(runs.size());
+  const auto later = [&](std::size_t a, std::size_t b) {
+    if (row_less(views[a], heads[a], views[b], heads[b])) return false;
+    if (row_less(views[b], heads[b], views[a], heads[a])) return true;
+    return a > b;
+  };
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back(r);
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const std::size_t r = heap.back();
+    heap.pop_back();
+    out.append_row(views[r], heads[r]);
+    if (++heads[r] < runs[r].size()) {
+      heap.push_back(r);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  out.sorted = true;
+  return out;
+}
+
+void FlowColumns::merge_sorted(FlowColumns other) {
+  sort();
+  other.sort();
+  if (other.empty()) return;
+  if (empty()) {
+    *this = std::move(other);
+    return;
+  }
+  const FlowView mine = view();
+  const FlowView theirs = other.view();
+  // Pure-append fast path: the incoming run starts at or after our back.
+  if (!row_less(theirs, 0, mine, mine.size() - 1)) {
+    const std::uint64_t base = switch_offsets.back();
+    start_ns.insert(start_ns.end(), other.start_ns.begin(),
+                    other.start_ns.end());
+    src.insert(src.end(), other.src.begin(), other.src.end());
+    dst.insert(dst.end(), other.dst.begin(), other.dst.end());
+    bytes.insert(bytes.end(), other.bytes.begin(), other.bytes.end());
+    duration_ns.insert(duration_ns.end(), other.duration_ns.begin(),
+                       other.duration_ns.end());
+    switch_ids.insert(switch_ids.end(), other.switch_ids.begin(),
+                      other.switch_ids.end());
+    for (std::size_t i = 1; i < other.switch_offsets.size(); ++i) {
+      switch_offsets.push_back(base + other.switch_offsets[i]);
+    }
+    return;
+  }
+  std::vector<FlowColumns> runs;
+  runs.push_back(std::move(*this));
+  runs.push_back(std::move(other));
+  *this = merge_sorted_runs(std::move(runs));
+}
+
+void FlowColumns::drop_before(TimeNs t) {
+  if (!sorted && !(sorted = view().verify_sorted())) {
+    throw std::logic_error("FlowColumns::drop_before requires sorted columns");
+  }
+  const std::size_t cut = view().lower_bound_start(t);
+  if (cut == 0) return;
+  const std::uint64_t hop_cut =
+      switch_offsets.empty() ? 0 : switch_offsets[cut];
+  start_ns.erase(start_ns.begin(), start_ns.begin() + cut);
+  src.erase(src.begin(), src.begin() + cut);
+  dst.erase(dst.begin(), dst.begin() + cut);
+  bytes.erase(bytes.begin(), bytes.begin() + cut);
+  duration_ns.erase(duration_ns.begin(), duration_ns.begin() + cut);
+  if (!switch_offsets.empty()) {
+    switch_ids.erase(switch_ids.begin(), switch_ids.begin() + hop_cut);
+    switch_offsets.erase(switch_offsets.begin(), switch_offsets.begin() + cut);
+    for (std::uint64_t& off : switch_offsets) off -= hop_cut;
+  }
+}
+
+void FlowColumns::sort() {
+  if (sorted || view().verify_sorted()) {
+    sorted = true;
+    return;
+  }
+  sorts_counter().inc();
+  const FlowView v = view();
+  std::vector<std::uint32_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return row_less(v, a, v, b);
+                   });
+  FlowColumns out = gather(v, order, false);
+  out.sorted = true;
+  *this = std::move(out);
+}
+
+FlowTrace materialize(const FlowView& view) {
+  materializations_counter().inc();
+  std::vector<FlowRecord> flows;
+  flows.reserve(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    flows.push_back(view.record(i));
+  }
+  return FlowTrace(std::move(flows));
+}
+
+std::uint64_t flow_materializations_total() {
+  return materializations_counter().value();
+}
+
+}  // namespace llmprism

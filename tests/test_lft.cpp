@@ -229,7 +229,9 @@ TEST(MappedFlowTraceTest, ColumnsViewTheFile) {
   ASSERT_EQ(hops.size(), 2u);
   EXPECT_EQ(hops[0], 5u);
   EXPECT_EQ(hops[1], 6u);
-  EXPECT_THROW((void)m.record(2), std::out_of_range);
+  // record() bounds are a debug-assert contract (no exception branch in
+  // per-record paths); in-bounds access is the whole API.
+  EXPECT_EQ(m.record(1).start_time, 8);
 }
 
 TEST(MappedFlowTraceTest, MoveTransfersTheMapping) {

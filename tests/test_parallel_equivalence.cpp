@@ -110,7 +110,7 @@ PrismConfig prism_config(std::size_t num_threads) {
 
 // --- field-for-field comparison helpers -----------------------------------
 
-void expect_traces_equal(const FlowTrace& a, const FlowTrace& b) {
+void expect_traces_equal(const FlowColumns& a, const FlowColumns& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a[i], b[i]) << "flow " << i;

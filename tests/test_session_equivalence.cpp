@@ -110,7 +110,7 @@ struct CompareOptions {
   bool skip_bocd_telemetry = false;
 };
 
-void expect_traces_equal(const FlowTrace& a, const FlowTrace& b) {
+void expect_traces_equal(const FlowColumns& a, const FlowColumns& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a[i], b[i]) << "flow " << i;

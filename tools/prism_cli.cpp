@@ -34,13 +34,16 @@
 //     extension, .lft -> lft, else csv), preserving row order and
 //     sortedness, and prints a one-line summary (rows, bytes, ratio).
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "llmprism/llmprism.hpp"
 
@@ -108,7 +111,8 @@ void usage() {
 
 /// Load a flow trace from either format, auto-detected by magic. On CSV
 /// parse errors, prints up to 10 diagnostics and returns nullopt;
-/// `format_out` is "csv" or "lft".
+/// `format_out` is "csv" or "lft". Used by `prism convert`, which needs an
+/// owning AoS trace for the writers; the analysis path uses load_flows.
 std::optional<FlowTrace> load_trace(const std::string& path,
                                     std::size_t ingest_threads,
                                     std::string& format_out) {
@@ -143,6 +147,70 @@ std::optional<FlowTrace> load_trace(const std::string& path,
     return std::nullopt;
   }
   return std::move(parsed.trace);
+}
+
+/// The analysis input: a sorted columnar view plus whatever storage backs
+/// it. A sorted LFT file is analyzed straight off the mapping — the view's
+/// columns alias the mmap'd sections and no flow is ever copied. CSV input
+/// (and the rare unsorted LFT) lands in owning columns, sorted once here
+/// at the boundary.
+struct LoadedFlows {
+  std::optional<MappedFlowTrace> mapped;  ///< keeps LFT-backed views alive
+  FlowColumns columns;                    ///< owning storage otherwise
+  FlowView view;                          ///< what the pipeline consumes
+  std::string format;                     ///< "csv" or "lft"
+};
+
+std::optional<LoadedFlows> load_flows(const std::string& path,
+                                      std::size_t ingest_threads) {
+  LoadedFlows out;
+  if (is_lft_file(path)) {
+    out.format = "lft";
+    try {
+      out.mapped.emplace(path);
+    } catch (const std::exception& e) {
+      std::cerr << "prism: " << path << ": " << e.what() << '\n';
+      return std::nullopt;
+    }
+    out.view = out.mapped->view();
+    if (out.view.sorted || out.view.verify_sorted()) {
+      out.view.sorted = true;  // zero-copy fast path
+      return out;
+    }
+    // Unsorted file: one boundary gather + sort into owning columns.
+    std::vector<std::uint32_t> rows(out.view.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    out.columns = FlowColumns::gather(out.view, rows,
+                                      /*rows_sorted_subset=*/false);
+    out.columns.sort();
+    out.mapped.reset();
+    out.view = out.columns.view();
+    return out;
+  }
+  out.format = "csv";
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "prism: cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  ParseResult parsed = read_csv_checked(in, {.num_threads = ingest_threads});
+  if (!parsed.ok()) {
+    constexpr std::size_t kMaxDiagnostics = 10;
+    const std::size_t shown = std::min(parsed.errors.size(), kMaxDiagnostics);
+    for (std::size_t e = 0; e < shown; ++e) {
+      std::cerr << "prism: " << path << ':' << parsed.errors[e].line << ": "
+                << parsed.errors[e].message << '\n';
+    }
+    if (parsed.errors.size() > shown) {
+      std::cerr << "prism: ... and " << parsed.errors.size() - shown
+                << " more bad lines\n";
+    }
+    return std::nullopt;
+  }
+  parsed.trace.sort();
+  out.columns = FlowColumns(parsed.trace);
+  out.view = out.columns.view();
+  return out;
 }
 
 int run_convert(int argc, char** argv) {
@@ -385,13 +453,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string ingest_format;
-  std::optional<FlowTrace> loaded =
-      load_trace(options->trace_path, options->ingest_threads, ingest_format);
+  std::optional<LoadedFlows> loaded =
+      load_flows(options->trace_path, options->ingest_threads);
   if (!loaded) return 1;
-  FlowTrace trace = std::move(*loaded);
-  trace.sort();
-  if (trace.empty()) {
+  const std::string& ingest_format = loaded->format;
+  // The pipeline consumes this sorted view; on a sorted LFT file its
+  // columns alias the mapping for the whole run — zero flow copies.
+  FlowView view = loaded->view;
+  if (view.empty()) {
     std::cerr << "prism: trace is empty\n";
     return 1;
   }
@@ -399,15 +468,15 @@ int main(int argc, char** argv) {
   TopologyConfig topo_config = options->topology;
   if (topo_config.num_machines == 0) {
     std::uint32_t max_gpu = 0;
-    for (const GpuId g : endpoints(trace)) {
-      max_gpu = std::max(max_gpu, g.value());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      max_gpu = std::max({max_gpu, view.src[i], view.dst[i]});
     }
     topo_config.num_machines = max_gpu / topo_config.gpus_per_machine + 1;
   }
 
   if (options->window_seconds) {
-    const TimeNs begin = trace.span().begin;
-    trace = trace.window(
+    const TimeNs begin = view.time_span().begin;
+    view = view.window(
         {begin, begin + from_seconds(*options->window_seconds)});
   }
 
@@ -436,7 +505,7 @@ int main(int argc, char** argv) {
       }
       OnlineMonitor monitor(topology, monitor_config);
       ExportSinks sinks(*options);
-      std::vector<MonitorTick> ticks = monitor.ingest(trace);
+      std::vector<MonitorTick> ticks = monitor.ingest(view);
       if (auto tail = monitor.flush()) ticks.push_back(std::move(*tail));
       for (const MonitorTick& tick : ticks) {
         sinks.add_window(export_view(tick));
@@ -499,9 +568,9 @@ int main(int argc, char** argv) {
     }
 
     const Prism prism(topology, prism_config);
-    report = prism.analyze(trace);
+    report = prism.analyze(view);
     ExportSinks sinks(*options);
-    sinks.add_window({trace.span(), &report, {}});
+    sinks.add_window({view.time_span(), &report, {}});
     if (const int rc = sinks.write_all(*options); rc != 0) return rc;
     if (!options->trace_out.empty()) {
       obs::TraceCollector::instance().disable();
@@ -529,8 +598,8 @@ int main(int argc, char** argv) {
       write_report_json(std::cout, report);
       return 0;
     }
-    std::cout << "analyzed " << trace.size() << " flows (" << ingest_format
-              << ") over " << to_seconds(trace.span().length()) << " s on a "
+    std::cout << "analyzed " << view.size() << " flows (" << ingest_format
+              << ") over " << to_seconds(view.time_span().length()) << " s on a "
               << topology.num_gpus() << "-GPU topology\n\n"
               << render_report_summary(report);
     if (options->timelines) {
