@@ -13,7 +13,6 @@
 // instants. fleet.series.om is Prometheus-scrapable OpenMetrics text;
 // fleet.journal.jsonl holds the open -> update -> resolve lifecycle of the
 // injected fault.
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -64,43 +63,40 @@ int main(int argc, char** argv) {
   config.window = 4 * kSecond;
   OnlineMonitor monitor(sim.topology, config);
 
-  PerfettoExporter perfetto;
-  JobSeriesCollector series;
-  IncidentJournal journal;
-  const auto export_tick = [&](const MonitorTick& tick) {
-    const WindowExportView view = export_view(tick);
-    perfetto.add_window(view);
-    series.add_window(view);
-    journal.add_window(view);
-  };
+  // One ExportConfig drives every sink — the same struct `prism monitor
+  // --perfetto-out ...` and a prismd daemon consume.
+  ExportConfig exports;
+  exports.perfetto_out = out_dir + "/fleet.perfetto.json";
+  exports.series_out = out_dir + "/fleet.series.om";
+  exports.journal_out = out_dir + "/fleet.journal.jsonl";
+  if (const auto errors = exports.validate(); !errors.empty()) {
+    for (const std::string& e : errors) std::cerr << "bad config: " << e << '\n';
+    return 1;
+  }
+  ExportSinks sinks(exports);
 
   const TimeWindow span = sim.trace.span();
   for (TimeNs at = span.begin; at < span.end; at += kSecond) {
     for (const MonitorTick& tick :
          monitor.ingest(sim.trace.window({at, at + kSecond}))) {
-      export_tick(tick);
+      sinks.add_window(export_view(tick));
     }
   }
-  if (const auto last = monitor.flush()) export_tick(*last);
-  journal.finish();
+  if (const auto last = monitor.flush()) sinks.add_window(export_view(*last));
 
-  const auto write_file = [&](const std::string& name, auto&& writer) {
-    const std::string path = out_dir + "/" + name;
-    std::ofstream os(path);
-    writer(os);
+  const IncidentJournal* journal = sinks.journal();
+  for (const std::string& error : sinks.write_files()) {
+    std::cerr << "export failed: " << error << '\n';
+    return 1;
+  }
+  for (const std::string& path :
+       {exports.perfetto_out, exports.series_out, exports.journal_out}) {
     std::cout << "wrote " << path << '\n';
-  };
-  write_file("fleet.perfetto.json",
-             [&](std::ostream& os) { perfetto.write(os); });
-  write_file("fleet.series.om",
-             [&](std::ostream& os) { series.write_openmetrics(os); });
-  write_file("fleet.journal.jsonl",
-             [&](std::ostream& os) { journal.write_jsonl(os); });
+  }
 
   std::cout << '\n'
-            << perfetto.num_events() << " trace events, "
-            << series.samples().size() << " job-window samples, "
-            << journal.num_events() << " journal events\n";
+            << monitor.stats().windows_completed << " analyzed windows, "
+            << (journal ? journal->num_events() : 0) << " journal events\n";
   std::cout << "open fleet.perfetto.json in https://ui.perfetto.dev to see "
                "the reconstructed Gantt chart\n";
   return 0;

@@ -115,6 +115,11 @@ class OnlineMonitor {
   }
 
  private:
+  /// Snapshot codec (core/snapshot.hpp): serializes the reorder buffer,
+  /// window clock, stable-id map, stats, and the embedded session so a
+  /// restarted monitor resumes warm with byte-identical subsequent ticks.
+  friend struct SnapshotAccess;
+
   MonitorTick analyze_window(TimeWindow window, FlowColumns flows);
   /// Stable-id assignment + stats, applied to ticks strictly in time order
   /// (this is what keeps ids independent of window-analysis scheduling).

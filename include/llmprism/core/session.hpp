@@ -176,6 +176,11 @@ class PrismSession {
   [[nodiscard]] bool hold_tail() const { return hold_tail_; }
 
  private:
+  /// Snapshot codec (core/snapshot.hpp): serializes the carried state —
+  /// priors, EWMA baselines, timeline tails, recognition cache — to a
+  /// versioned binary blob and restores it into a same-config session.
+  friend struct SnapshotAccess;
+
   /// Shared tail of both probe_recognition overloads: compare probe_pairs_
   /// against the cached set and count the outcome.
   [[nodiscard]] bool finish_probe();

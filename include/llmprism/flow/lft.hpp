@@ -73,6 +73,11 @@ void write_lft(std::ostream& os, const FlowTrace& trace);
 /// physical sorts). Throws std::runtime_error on any malformed input.
 [[nodiscard]] FlowTrace read_lft(std::istream& is);
 
+/// Parse a complete in-memory LFT image (e.g. one framed daemon chunk).
+/// Same validation and error contract as read_lft; the buffer need not be
+/// aligned (it is copied into aligned storage before the columns are read).
+[[nodiscard]] FlowTrace read_lft_buffer(std::span<const std::byte> image);
+
 /// Convenience file wrappers; throw std::runtime_error if the file cannot
 /// be opened (and read_lft_file on any corruption).
 void write_lft_file(const std::string& path, const FlowTrace& trace);

@@ -10,8 +10,9 @@
 // point — examples/ and tools/ use it exclusively.
 #pragma once
 
-// ---- common vocabulary (ids, time, comm types) ----
+// ---- common vocabulary (ids, time, comm types, CLI flags) ----
 #include "llmprism/common/comm_type.hpp"
+#include "llmprism/common/flags.hpp"
 #include "llmprism/common/ids.hpp"
 #include "llmprism/common/log.hpp"
 #include "llmprism/common/time.hpp"
@@ -41,6 +42,7 @@
 #include "llmprism/core/prism.hpp"
 #include "llmprism/core/render.hpp"
 #include "llmprism/core/session.hpp"
+#include "llmprism/core/snapshot.hpp"
 #include "llmprism/core/timeline.hpp"
 
 // ---- self-observability (metrics registry, exporters, trace spans) ----
@@ -48,7 +50,13 @@
 #include "llmprism/obs/trace_span.hpp"
 
 // ---- job-facing observability plane (fleet exports) ----
+#include "llmprism/export/config.hpp"
 #include "llmprism/export/journal.hpp"
 #include "llmprism/export/perfetto.hpp"
 #include "llmprism/export/series.hpp"
 #include "llmprism/export/view.hpp"
+
+// ---- serving plane (prismd: framed ingest + HTTP query endpoints) ----
+#include "llmprism/serve/daemon.hpp"
+#include "llmprism/serve/frame.hpp"
+#include "llmprism/serve/http.hpp"

@@ -1,0 +1,39 @@
+// Minimal embedded HTTP/1.0 support for prismd's query plane.
+//
+// The daemon serves GET-only, Connection: close endpoints (/metrics,
+// /report, /journal, ...) to curl and Prometheus scrapers. This header is
+// the pure, socket-free part: request parsing and response formatting, so
+// the endpoint routing (PrismDaemon::handle_http) is unit-testable without
+// opening a socket. Anything beyond "GET <target> HTTP/1.x" is answered
+// with a plain 400/405 — this is a diagnosis port, not a web server.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace llmprism::serve {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< target without the query string, e.g. "/report"
+  std::string query;   ///< raw query string without '?', e.g. "shard=1"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Parse the request line of `head` (everything up to the blank line).
+/// Returns false on anything that is not "<METHOD> <target> HTTP/...".
+[[nodiscard]] bool parse_http_request(std::string_view head, HttpRequest& out);
+
+/// Value of `key` in a query string ("a=1&b=2"), or "" when absent.
+[[nodiscard]] std::string query_param(std::string_view query,
+                                      std::string_view key);
+
+/// Serialize status line + headers + body (HTTP/1.0, Connection: close).
+[[nodiscard]] std::string format_http_response(const HttpResponse& response);
+
+}  // namespace llmprism::serve

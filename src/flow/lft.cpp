@@ -336,6 +336,23 @@ FlowTrace read_lft(std::istream& is) {
   return trace;
 }
 
+FlowTrace read_lft_buffer(std::span<const std::byte> image) {
+  const obs::Span span("ingest.lft_buffer");
+  const obs::ScopedTimer timer(ingest_parse_seconds());
+
+  // Copy into 8-aligned storage (same reason as read_lft: the caller's
+  // buffer — a socket frame payload, typically — has no alignment
+  // guarantee for the typed column reads).
+  auto aligned = std::make_unique<std::byte[]>(image.size());
+  if (!image.empty()) std::memcpy(aligned.get(), image.data(), image.size());
+  const LftView view = validate_lft(aligned.get(), image.size());
+  FlowTrace trace = materialize(view);
+
+  ingest_bytes_counter().inc(image.size());
+  ingest_rows_counter().inc(trace.size());
+  return trace;
+}
+
 void write_lft_file(const std::string& path, const FlowTrace& trace) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("lft: cannot open for write: " + path);

@@ -1,0 +1,91 @@
+#include "llmprism/serve/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace llmprism::serve {
+
+namespace {
+
+template <typename T>
+void put(std::byte* out, std::size_t offset, T v) {
+  std::memcpy(out + offset, &v, sizeof(v));
+}
+
+template <typename T>
+T get(std::span<const std::byte> buf, std::size_t offset) {
+  T v;
+  std::memcpy(&v, buf.data() + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& header,
+                         std::byte out[kFrameHeaderSize]) {
+  std::memcpy(out, kFrameMagic, sizeof(kFrameMagic));
+  put(out, 4, header.version);
+  put(out, 6, static_cast<std::uint16_t>(header.type));
+  put(out, 8, header.stream_id);
+  put(out, 16, header.payload_bytes);
+}
+
+FrameHeader decode_frame_header(std::span<const std::byte> buf) {
+  if (buf.size() < kFrameHeaderSize) {
+    throw std::runtime_error("frame: short header (" +
+                             std::to_string(buf.size()) + " bytes)");
+  }
+  if (std::memcmp(buf.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw std::runtime_error("frame: bad magic (framing lost)");
+  }
+  FrameHeader h;
+  h.version = get<std::uint16_t>(buf, 4);
+  if (h.version != kFrameVersion) {
+    throw std::runtime_error("frame: unsupported version " +
+                             std::to_string(h.version));
+  }
+  h.type = static_cast<FrameType>(get<std::uint16_t>(buf, 6));
+  h.stream_id = get<std::uint64_t>(buf, 8);
+  h.payload_bytes = get<std::uint64_t>(buf, 16);
+  if (h.payload_bytes > kMaxFramePayload) {
+    throw std::runtime_error("frame: payload too large (" +
+                             std::to_string(h.payload_bytes) + " bytes)");
+  }
+  return h;
+}
+
+std::string encode_frame(FrameType type, std::uint64_t stream_id,
+                         std::string_view payload) {
+  FrameHeader h;
+  h.type = type;
+  h.stream_id = stream_id;
+  h.payload_bytes = payload.size();
+  std::byte head[kFrameHeaderSize];
+  encode_frame_header(h, head);
+  std::string out(reinterpret_cast<const char*>(head), kFrameHeaderSize);
+  out.append(payload);
+  return out;
+}
+
+std::string encode_ack(std::uint64_t stream_id, const AckPayload& ack) {
+  char payload[24];
+  std::memcpy(payload, &ack.flows_accepted, 8);
+  std::memcpy(payload + 8, &ack.queue_depth, 8);
+  std::memcpy(payload + 16, &ack.backpressure_waits, 8);
+  return encode_frame(FrameType::kAck, stream_id,
+                      std::string_view(payload, sizeof(payload)));
+}
+
+AckPayload decode_ack(std::span<const std::byte> payload) {
+  if (payload.size() != 24) {
+    throw std::runtime_error("frame: ack payload must be 24 bytes, got " +
+                             std::to_string(payload.size()));
+  }
+  AckPayload ack;
+  ack.flows_accepted = get<std::uint64_t>(payload, 0);
+  ack.queue_depth = get<std::uint64_t>(payload, 8);
+  ack.backpressure_waits = get<std::uint64_t>(payload, 16);
+  return ack;
+}
+
+}  // namespace llmprism::serve

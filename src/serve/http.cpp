@@ -1,0 +1,67 @@
+#include "llmprism/serve/http.hpp"
+
+namespace llmprism::serve {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+bool parse_http_request(std::string_view head, HttpRequest& out) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  std::string_view line = head.substr(0, eol);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (!line.substr(sp2 + 1).starts_with("HTTP/")) return false;
+  if (target.empty() || target[0] != '/') return false;
+
+  out.method = std::string(line.substr(0, sp1));
+  const std::size_t qmark = target.find('?');
+  out.path = std::string(target.substr(0, qmark));
+  out.query = qmark == std::string_view::npos
+                  ? std::string()
+                  : std::string(target.substr(qmark + 1));
+  return true;
+}
+
+std::string query_param(std::string_view query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string_view::npos ? std::string()
+                                          : std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+std::string format_http_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace llmprism::serve

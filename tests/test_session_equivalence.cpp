@@ -29,6 +29,7 @@
 
 #include "llmprism/core/monitor.hpp"
 #include "llmprism/core/prism.hpp"
+#include "llmprism/core/snapshot.hpp"
 #include "llmprism/export/journal.hpp"
 #include "llmprism/export/perfetto.hpp"
 #include "llmprism/export/series.hpp"
@@ -628,6 +629,60 @@ TEST(SessionEquivalenceTest, InvalidateSessionForcesColdReseed) {
   EXPECT_GT(session->counters().recognition_rebuilds, rebuilds_before)
       << "the first post-invalidation window must run cold";
   EXPECT_GT(session->jobs_tracked(), 0u) << "and re-seed the caches";
+}
+
+// --- snapshot/restore: an interrupted warm session is no worse ------------
+
+// The daemon's restart story (DESIGN.md §14): snapshot a warm monitor
+// mid-stream, restore into a fresh one, keep ingesting — every subsequent
+// tick must be field-for-field identical to the uninterrupted session,
+// with every carry feature enabled (the byte-level blob contract lives in
+// test_snapshot.cpp; this is the semantic differential).
+TEST(SessionEquivalenceTest, SnapshotRestoreContinuesExactly) {
+  const MixData& mix = steady_jobs();
+  FlowTrace trace = mix.sim.trace;
+  trace.sort();
+  const TimeNs mid =
+      trace.span().begin + (trace.span().end - trace.span().begin) / 2;
+  const FlowTrace head = trace.window({trace.span().begin, mid});
+  const FlowTrace tail = trace.window({mid, trace.span().end + 1});
+
+  OnlineMonitor reference(mix.sim.topology, monitor_config(2 * kSecond, true));
+  auto ref_ticks = reference.ingest(head);
+  for (MonitorTick& t : reference.ingest(tail)) {
+    ref_ticks.push_back(std::move(t));
+  }
+  if (auto last = reference.flush()) ref_ticks.push_back(std::move(*last));
+  ASSERT_GE(ref_ticks.size(), 3u);
+
+  OnlineMonitor interrupted(mix.sim.topology,
+                            monitor_config(2 * kSecond, true));
+  auto ticks = interrupted.ingest(head);
+  std::ostringstream blob;
+  save_snapshot(blob, interrupted);
+
+  OnlineMonitor restored(mix.sim.topology, monitor_config(2 * kSecond, true));
+  {
+    std::istringstream is(blob.str());
+    restore_snapshot(is, restored);
+  }
+  for (MonitorTick& t : restored.ingest(tail)) ticks.push_back(std::move(t));
+  if (auto last = restored.flush()) ticks.push_back(std::move(*last));
+
+  expect_ticks_equal(ticks, ref_ticks);
+  ASSERT_NE(restored.session(), nullptr);
+  ASSERT_NE(reference.session(), nullptr);
+  const SessionCounters& a = restored.session()->counters();
+  const SessionCounters& b = reference.session()->counters();
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.recognition_reuses, b.recognition_reuses);
+  EXPECT_EQ(a.pairs_reused, b.pairs_reused);
+  EXPECT_EQ(a.boundary_steps_held, b.boundary_steps_held);
+  EXPECT_EQ(a.boundary_steps_carried, b.boundary_steps_carried);
+  EXPECT_EQ(a.ewma_step_alerts, b.ewma_step_alerts);
+  EXPECT_EQ(restored.stats().stable_ids_created,
+            reference.stats().stable_ids_created)
+      << "stable job ids must survive the restart";
 }
 
 // --- determinism of the warm path under the per-job fan-out ---------------

@@ -81,7 +81,6 @@ StragglerArg parse_straggler(const std::string& one) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path;
   std::uint32_t machines = 32;
   std::string jobs_spec = "8:2:2:10,8:4:1:10";
   std::uint64_t seed = 42;
@@ -89,53 +88,52 @@ int main(int argc, char** argv) {
   double drop = 0.0;
   std::vector<StragglerArg> stragglers;
   std::string format;
+  std::vector<std::string> positionals;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::invalid_argument("missing value");
-      return argv[++i];
-    };
-    try {
-      if (arg == "--machines") {
-        machines = static_cast<std::uint32_t>(std::stoul(value()));
-      } else if (arg == "--jobs") {
-        jobs_spec = value();
-      } else if (arg == "--seed") {
-        seed = std::stoull(value());
-      } else if (arg == "--degraded") {
-        degraded = std::stod(value());
-      } else if (arg == "--drop") {
-        drop = std::stod(value());
-      } else if (arg == "--straggler") {
-        stragglers.push_back(parse_straggler(value()));
-      } else if (arg == "--format") {
-        format = value();
-        if (format != "csv" && format != "lft") {
-          std::cerr << "gen_trace: unknown format " << format
-                    << " (want csv or lft)\n";
-          return 2;
+  cli::FlagSet flags("gen_trace");
+  flags.flag("--machines", "N", "cluster size (default 32)", &machines);
+  flags.flag("--jobs", "SPEC[,SPEC]",
+             "job list; SPEC = tp:dp:pp[:steps[:zero]]", &jobs_spec);
+  flags.flag("--seed", "N", "simulation seed (default 42)", &seed);
+  flags.flag("--degraded", "F", "fraction of degraded pairs (noise)",
+             &degraded);
+  flags.flag("--drop", "F", "i.i.d. flow drop rate", &drop);
+  flags.custom_flag(
+      "--straggler", "SPEC",
+      "inject a compute straggler; SPEC = "
+      "job:rank:step_begin:step_end[:slowdown] (repeatable)",
+      /*takes_value=*/true, [&](std::string_view v) -> std::string {
+        try {
+          stragglers.push_back(parse_straggler(std::string(v)));
+        } catch (const std::exception& e) {
+          return e.what();
         }
-      } else if (!arg.empty() && arg[0] == '-') {
-        std::cerr << "gen_trace: unknown option " << arg << '\n';
-        return 2;
-      } else if (out_path.empty()) {
-        out_path = arg;
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "gen_trace: " << e.what() << '\n';
-      return 2;
-    }
+        return {};
+      });
+  flags.flag("--format", "csv|lft",
+             "output format (default: by extension, .lft -> lft)", &format);
+  flags.positionals("<out.csv|out.lft>", 1, 1, &positionals);
+
+  const cli::ParseResult parsed = flags.parse(argc, argv);
+  if (parsed.help) {
+    std::cout << flags.usage();
+    return 0;
   }
-  if (out_path.empty()) {
-    std::cerr << "usage: gen_trace <out.csv|out.lft> [--machines N]\n"
-                 "                 [--jobs SPEC] [--seed N] [--degraded F]\n"
-                 "                 [--drop F] [--straggler j:r:b:e[:slow]]\n"
-                 "                 [--format csv|lft]\n";
+  if (!parsed.ok) {
+    for (const std::string& e : parsed.errors) {
+      std::cerr << "gen_trace: " << e << '\n';
+    }
+    std::cerr << "run 'gen_trace --help' for usage\n";
     return 2;
   }
+  const std::string& out_path = positionals[0];
   if (format.empty()) {
     format = out_path.ends_with(".lft") ? "lft" : "csv";
+  }
+  if (format != "csv" && format != "lft") {
+    std::cerr << "gen_trace: unknown format " << format
+              << " (want csv or lft)\n";
+    return 2;
   }
 
   try {

@@ -1,41 +1,29 @@
-// prism — command-line front end: analyze a flow trace (CSV or binary LFT,
-// auto-detected by magic) end-to-end and print (or export as JSON) the full
-// diagnosis report; `prism convert` translates between the two formats.
+// prism — command-line front end, structured as subcommands:
 //
-// Usage:
-//   prism <flows.csv|flows.lft> [options]
-//     --machines N          number of machines in the cluster (default:
-//                           derived from the largest GPU id in the trace)
-//     --gpus-per-machine N  (default 8)
-//     --machines-per-leaf N (default 16)
-//     --spines N            (default 4)
-//     --window SECONDS      analyze only the first SECONDS of the trace
-//     --monitor-window S    stream the trace through the OnlineMonitor in
-//                           S-second analysis windows instead of one shot
-//     --no-carry            with --monitor-window: disable the warm session
-//                           (stateless, window-independent analysis)
-//     --ingest-threads N    CSV decode threads (0 = hardware, default)
-//     --json                emit the report as JSON instead of text
-//     --timelines           include per-rank timeline lanes in text output
-//     --no-reconstruct      skip timeline reconstruction (faster)
-//     --log-level LEVEL     debug|info|warn|error|off (default: warn)
-//     --metrics-out FILE    dump the metrics registry after analysis
-//                           (Prometheus text; .json suffix -> JSON snapshot)
-//     --trace-out FILE      record pipeline spans, write Chrome trace JSON
-//     --perfetto-out FILE   export the reconstructed training timelines as
-//                           Chrome trace JSON (open in ui.perfetto.dev)
-//     --series-out FILE     export per-job per-window metrics (OpenMetrics
-//                           text; .jsonl suffix -> JSONL stream)
-//     --journal-out FILE    export the incident lifecycle journal (JSONL,
-//                           open -> update -> resolve with stable ids)
+//   prism analyze <flows.csv|flows.lft> [options]
+//       one-shot diagnosis of a whole trace (CSV or binary LFT,
+//       auto-detected by magic); --window S truncates to the first S
+//       seconds.
+//   prism monitor <flows.csv|flows.lft> --window S [options]
+//       stream the trace through the OnlineMonitor in S-second analysis
+//       windows (warm cross-window session by default; --no-carry for
+//       stateless per-window analysis).
+//   prism convert <in> <out> [--format csv|lft] [--chunk-seconds S]
+//       translate between CSV and LFT (default output format by <out>
+//       extension); --chunk-seconds splits the output into time-sliced
+//       chunk files (<out base>.NNN.<ext>) a client can stream at prismd.
+//   prism serve [options]
+//       run the long-running diagnosis daemon (same entry point as the
+//       prismd binary; see serve/daemon.hpp and DESIGN.md §14).
 //
-//   prism convert <in> <out> [--format csv|lft] [--ingest-threads N]
-//     converts between CSV and LFT (default output format: by <out>
-//     extension, .lft -> lft, else csv), preserving row order and
-//     sortedness, and prints a one-line summary (rows, bytes, ratio).
+// Deprecated spellings keep working with a one-line warning:
+//   prism <trace> [options]        ->  prism analyze <trace> [options]
+//   prism analyze --monitor-window S  ->  prism monitor --window S
+//
+// Every subcommand shares one declarative flag parser (common/flags.hpp);
+// an unknown option is always an error: exit code 2 plus a usage hint.
 #include <algorithm>
 #include <cstdint>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -51,62 +39,105 @@ using namespace llmprism;
 
 namespace {
 
-struct CliOptions {
-  std::string trace_path;
+void usage() {
+  std::cerr <<
+      "usage: prism <subcommand> [options]\n"
+      "\n"
+      "  analyze <trace> [options]   one-shot diagnosis of a flow trace\n"
+      "  monitor <trace> --window S  windowed online monitoring of a trace\n"
+      "  convert <in> <out>          translate CSV <-> LFT (and chunk)\n"
+      "  serve [options]             run the prismd diagnosis daemon\n"
+      "\n"
+      "run 'prism <subcommand> --help' for the subcommand's options.\n"
+      "input format (CSV or binary LFT) is auto-detected by magic.\n";
+}
+
+/// Options shared by `analyze` and `monitor`.
+struct CommonOptions {
   TopologyConfig topology{.num_machines = 0, .gpus_per_machine = 8,
                           .machines_per_leaf = 16, .num_spines = 4};
-  std::optional<double> window_seconds;
-  std::optional<double> monitor_window_seconds;
-  bool carry = true;
+  std::uint64_t ingest_threads = 0;
   bool json = false;
   bool timelines = false;
-  bool reconstruct = true;
-  bool attribute = true;
-  std::size_t ingest_threads = 0;
-  std::string metrics_out;
-  std::string trace_out;
-  std::string perfetto_out;
-  std::string series_out;
-  std::string journal_out;
+  bool no_reconstruct = false;
+  bool no_attribute = false;
+  std::string log_level;
+  ExportConfig exports;
 };
 
-void usage() {
-  std::cerr
-      << "usage: prism <flows.csv|flows.lft> [--machines N]\n"
-         "             [--gpus-per-machine N] [--machines-per-leaf N]\n"
-         "             [--spines N] [--window S]\n"
-         "             [--monitor-window S] [--no-carry]\n"
-         "             [--ingest-threads N]\n"
-         "             [--json] [--timelines] [--no-reconstruct]\n"
-         "             [--no-attribute]\n"
-         "             [--log-level debug|info|warn|error|off]\n"
-         "             [--metrics-out FILE] [--trace-out FILE]\n"
-         "             [--perfetto-out FILE] [--series-out FILE]\n"
-         "             [--journal-out FILE]\n"
-         "       prism convert <in> <out> [--format csv|lft]\n"
-         "             [--ingest-threads N]\n"
-         "  input format (CSV or binary LFT) is auto-detected by magic\n"
-         "  --monitor-window streams the trace through the online monitor\n"
-         "    in S-second windows (warm cross-window session by default;\n"
-         "    --no-carry switches to stateless per-window analysis)\n"
-         "  --ingest-threads sets the parallel CSV decoder's thread count\n"
-         "    (0 = one per hardware thread; results are identical at any\n"
-         "    setting)\n"
-         "  --metrics-out writes the self-telemetry registry after analysis\n"
-         "    (Prometheus text exposition; a .json suffix selects the JSON\n"
-         "    snapshot instead)\n"
-         "  --trace-out records pipeline trace spans during analysis and\n"
-         "    writes Chrome trace_event JSON (open in Perfetto)\n"
-         "  --perfetto-out exports the *reconstructed job timelines* (one\n"
-         "    process per job, one track per rank, phase slices and alert\n"
-         "    instants) as Chrome trace JSON for ui.perfetto.dev\n"
-         "  --series-out exports per-job per-window metrics (step quantiles,\n"
-         "    bandwidth, bubble ratio, alerts) as OpenMetrics text; a .jsonl\n"
-         "    suffix selects the JSONL stream instead\n"
-         "  --journal-out exports the deduplicated incident lifecycle\n"
-         "    journal (JSONL: open -> update -> resolve, stable ids)\n"
-         "  convert translates CSV <-> LFT (default output format by\n"
-         "    extension: .lft -> lft, else csv), preserving sortedness\n";
+void add_common_flags(cli::FlagSet& flags, CommonOptions& o) {
+  flags.flag("--machines", "N",
+             "machines in the cluster (default: derived from the trace)",
+             &o.topology.num_machines);
+  flags.flag("--gpus-per-machine", "N", "GPUs per machine (default 8)",
+             &o.topology.gpus_per_machine);
+  flags.flag("--machines-per-leaf", "N", "machines per leaf switch",
+             &o.topology.machines_per_leaf);
+  flags.flag("--spines", "N", "spine switches", &o.topology.num_spines);
+  flags.flag("--ingest-threads", "N", "CSV decode threads (0 = hardware)",
+             &o.ingest_threads);
+  flags.flag("--json", "emit the report as JSON instead of text", &o.json);
+  flags.flag("--timelines", "include per-rank timeline lanes in text output",
+             &o.timelines);
+  flags.flag("--no-reconstruct", "skip timeline reconstruction (faster)",
+             &o.no_reconstruct);
+  flags.flag("--no-attribute", "skip root-cause attribution",
+             &o.no_attribute);
+  flags.flag("--log-level", "LEVEL", "debug|info|warn|error|off",
+             &o.log_level);
+  flags.flag("--perfetto-out", "FILE",
+             "reconstructed timelines as Chrome trace JSON (ui.perfetto.dev)",
+             &o.exports.perfetto_out);
+  flags.flag("--series-out", "FILE",
+             "per-job per-window metrics (OpenMetrics; .jsonl -> JSONL)",
+             &o.exports.series_out);
+  flags.flag("--journal-out", "FILE",
+             "incident lifecycle journal (JSONL, open -> update -> resolve)",
+             &o.exports.journal_out);
+  flags.flag("--metrics-out", "FILE",
+             "metrics registry dump (Prometheus text; .json -> JSON)",
+             &o.exports.metrics_out);
+  flags.flag("--trace-out", "FILE",
+             "pipeline trace spans as Chrome trace_event JSON",
+             &o.exports.trace_out);
+}
+
+/// Handle --help / parse errors uniformly. Returns -1 to proceed, else the
+/// process exit code (0 for help, 2 for errors — including unknown
+/// options, which FlagSet always rejects).
+int finish_parse(const cli::FlagSet& flags, const cli::ParseResult& parsed) {
+  if (parsed.help) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  if (!parsed.ok) {
+    for (const std::string& e : parsed.errors) {
+      std::cerr << flags.program() << ": " << e << '\n';
+    }
+    std::cerr << "run '" << flags.program() << " --help' for usage\n";
+    return 2;
+  }
+  return -1;
+}
+
+/// Apply --log-level / validate exports; returns -1 or an exit code.
+int apply_common(const cli::FlagSet& flags, const CommonOptions& o) {
+  if (!o.log_level.empty()) {
+    const auto level = log::parse_level(o.log_level);
+    if (!level) {
+      std::cerr << flags.program() << ": unknown log level " << o.log_level
+                << '\n';
+      return 2;
+    }
+    log::set_level(*level);
+  }
+  if (const auto errors = o.exports.validate(); !errors.empty()) {
+    for (const std::string& e : errors) {
+      std::cerr << flags.program() << ": " << e << '\n';
+    }
+    return 2;
+  }
+  return -1;
 }
 
 /// Load a flow trace from either format, auto-detected by magic. On CSV
@@ -213,63 +244,306 @@ std::optional<LoadedFlows> load_flows(const std::string& path,
   return out;
 }
 
-int run_convert(int argc, char** argv) {
-  std::string in_path;
-  std::string out_path;
-  std::string format;
-  std::size_t ingest_threads = 0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto need_value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "prism convert: missing value for " << arg << '\n';
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--format") {
-      const char* v = need_value();
-      if (!v) return 2;
-      format = v;
-      if (format != "csv" && format != "lft") {
-        std::cerr << "prism convert: unknown format " << format
-                  << " (want csv or lft)\n";
-        return 2;
-      }
-    } else if (arg == "--ingest-threads") {
-      const char* v = need_value();
-      if (!v) return 2;
-      ingest_threads = std::stoul(v);
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "prism convert: unknown option " << arg << '\n';
-      return 2;
-    } else if (in_path.empty()) {
-      in_path = arg;
-    } else if (out_path.empty()) {
-      out_path = arg;
-    } else {
-      std::cerr << "prism convert: unexpected argument " << arg << '\n';
+/// Fill in a trace-derived machine count when --machines was not given.
+TopologyConfig derive_topology(TopologyConfig config, const FlowView& view) {
+  if (config.num_machines == 0) {
+    std::uint32_t max_gpu = 0;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      max_gpu = std::max({max_gpu, view.src[i], view.dst[i]});
+    }
+    config.num_machines = max_gpu / config.gpus_per_machine + 1;
+  }
+  return config;
+}
+
+PrismConfig prism_config_for(const CommonOptions& o) {
+  PrismConfig config;
+  config.reconstruct_timelines = !o.no_reconstruct;
+  config.attribute = !o.no_attribute;
+  return config;
+}
+
+int write_sink_files(ExportSinks& sinks) {
+  const std::vector<std::string> errors = sinks.write_files();
+  for (const std::string& e : errors) std::cerr << "prism: " << e << '\n';
+  return errors.empty() ? 0 : 1;
+}
+
+int run_one_shot(const CommonOptions& options, const std::string& trace_path,
+                 std::optional<double> window_seconds) {
+  std::optional<LoadedFlows> loaded =
+      load_flows(trace_path, options.ingest_threads);
+  if (!loaded) return 1;
+  // The pipeline consumes this sorted view; on a sorted LFT file its
+  // columns alias the mapping for the whole run — zero flow copies.
+  FlowView view = loaded->view;
+  if (view.empty()) {
+    std::cerr << "prism: trace is empty\n";
+    return 1;
+  }
+  if (window_seconds) {
+    const TimeNs begin = view.time_span().begin;
+    view = view.window({begin, begin + from_seconds(*window_seconds)});
+  }
+
+  try {
+    const auto topology =
+        ClusterTopology::build(derive_topology(options.topology, view));
+    PrismConfig prism_config = prism_config_for(options);
+    if (const auto errors = prism_config.validate(); !errors.empty()) {
+      std::cerr << "prism: invalid configuration:\n";
+      for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
       return 2;
     }
+    ExportSinks sinks(options.exports);  // enables span tracing if requested
+
+    const Prism prism(topology, prism_config);
+    const PrismReport report = prism.analyze(view);
+    sinks.add_window({view.time_span(), &report, {}});
+    if (const int rc = write_sink_files(sinks); rc != 0) return rc;
+
+    if (options.json) {
+      write_report_json(std::cout, report);
+      return 0;
+    }
+    std::cout << "analyzed " << view.size() << " flows (" << loaded->format
+              << ") over " << to_seconds(view.time_span().length())
+              << " s on a " << topology.num_gpus() << "-GPU topology\n\n"
+              << render_report_summary(report);
+    if (options.timelines) {
+      for (const JobAnalysis& job : report.jobs) {
+        if (job.timelines.empty()) continue;
+        const std::size_t lanes =
+            std::min<std::size_t>(8, job.timelines.size());
+        std::cout << "\njob " << job.id << " timelines (first " << lanes
+                  << " ranks):\n"
+                  << render_timeline_chart(
+                         std::span(job.timelines.data(), lanes),
+                         {.width = 110});
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "prism: " << e.what() << '\n';
+    return 1;
   }
-  if (in_path.empty() || out_path.empty()) {
-    usage();
-    return 2;
+  return 0;
+}
+
+int run_monitor_on(const CommonOptions& options, const std::string& trace_path,
+                   double window_seconds, bool carry) {
+  std::optional<LoadedFlows> loaded =
+      load_flows(trace_path, options.ingest_threads);
+  if (!loaded) return 1;
+  const FlowView view = loaded->view;
+  if (view.empty()) {
+    std::cerr << "prism: trace is empty\n";
+    return 1;
   }
+
+  try {
+    const auto topology =
+        ClusterTopology::build(derive_topology(options.topology, view));
+    MonitorConfig monitor_config;
+    monitor_config.prism = prism_config_for(options);
+    monitor_config.window = from_seconds(window_seconds);
+    monitor_config.carry_state = carry;
+    if (const auto errors = monitor_config.validate(); !errors.empty()) {
+      std::cerr << "prism: invalid monitor configuration:\n";
+      for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
+      return 2;
+    }
+    ExportSinks sinks(options.exports);  // enables span tracing if requested
+
+    OnlineMonitor monitor(topology, monitor_config);
+    std::vector<MonitorTick> ticks = monitor.ingest(view);
+    if (auto tail = monitor.flush()) ticks.push_back(std::move(*tail));
+    for (const MonitorTick& tick : ticks) {
+      sinks.add_window(export_view(tick));
+      if (options.json) {
+        write_report_json(std::cout, tick.report);
+        continue;
+      }
+      std::size_t alerts = 0;
+      for (const JobAnalysis& job : tick.report.jobs) {
+        alerts += job.step_alerts.size() + job.group_alerts.size();
+      }
+      std::cout << "window [" << to_seconds(tick.window.begin) << "s, "
+                << to_seconds(tick.window.end) << "s): "
+                << tick.report.telemetry.flows_total << " flows, "
+                << tick.report.jobs.size() << " jobs, " << alerts
+                << " job alerts\n";
+    }
+    if (!options.json) {
+      const MonitorStats& stats = monitor.stats();
+      std::cout << "\nmonitor: " << stats.windows_completed << " windows, "
+                << stats.flows_ingested << " flows ingested ("
+                << stats.flows_dropped_late << " dropped late), "
+                << stats.stable_ids_created << " stable job ids, "
+                << stats.step_alerts << " step / " << stats.group_alerts
+                << " group alerts\n";
+      if (const PrismSession* session = monitor.session()) {
+        const SessionCounters& c = session->counters();
+        std::cout << "session: recognition " << c.recognition_reuses
+                  << " reused / " << c.recognition_rebuilds
+                  << " rebuilt, pairs " << c.pairs_reused << " reused / "
+                  << c.pairs_reclassified << " reclassified, boundary "
+                  << c.boundary_steps_held << " held / "
+                  << c.boundary_steps_carried << " carried, "
+                  << c.ewma_step_alerts << " ewma alerts, "
+                  << session->jobs_tracked() << " jobs tracked\n";
+      }
+    }
+    return write_sink_files(sinks);
+  } catch (const std::exception& e) {
+    std::cerr << "prism: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int run_analyze(int argc, const char* const* argv, int begin) {
+  CommonOptions common;
+  std::optional<double> window_seconds;
+  std::optional<double> monitor_window_seconds;
+  bool no_carry = false;
+  std::vector<std::string> positionals;
+
+  cli::FlagSet flags("prism analyze");
+  flags.flag("--window", "S", "analyze only the first S seconds of the trace",
+             &window_seconds);
+  add_common_flags(flags, common);
+  flags.flag("--monitor-window", "S",
+             "deprecated: use `prism monitor <trace> --window S`",
+             &monitor_window_seconds);
+  flags.flag("--no-carry",
+             "with --monitor-window: disable the warm session", &no_carry);
+  flags.positionals("trace", 1, 1, &positionals);
+
+  if (const int rc = finish_parse(flags, flags.parse(argc, argv, begin));
+      rc >= 0) {
+    return rc;
+  }
+  if (const int rc = apply_common(flags, common); rc >= 0) return rc;
+
+  if (monitor_window_seconds) {
+    std::cerr << "prism: note: --monitor-window is deprecated; use `prism "
+                 "monitor <trace> --window S`\n";
+    return run_monitor_on(common, positionals[0], *monitor_window_seconds,
+                          !no_carry);
+  }
+  return run_one_shot(common, positionals[0], window_seconds);
+}
+
+int run_monitor_cmd(int argc, const char* const* argv, int begin) {
+  CommonOptions common;
+  double window_seconds = 60.0;
+  bool no_carry = false;
+  std::vector<std::string> positionals;
+
+  cli::FlagSet flags("prism monitor");
+  flags.flag("--window", "S", "analysis window length in seconds (default 60)",
+             &window_seconds);
+  flags.flag("--no-carry",
+             "disable the warm cross-window session (stateless analysis)",
+             &no_carry);
+  add_common_flags(flags, common);
+  flags.alias("--monitor-window", "--window");
+  flags.positionals("trace", 1, 1, &positionals);
+
+  if (const int rc = finish_parse(flags, flags.parse(argc, argv, begin));
+      rc >= 0) {
+    return rc;
+  }
+  if (const int rc = apply_common(flags, common); rc >= 0) return rc;
+  return run_monitor_on(common, positionals[0], window_seconds, !no_carry);
+}
+
+/// Insert a chunk index before the output extension:
+/// "flows.lft" -> "flows.007.lft"; extensionless paths append ".007".
+std::string chunk_path(const std::string& out_path, std::size_t index) {
+  char tag[8];
+  std::snprintf(tag, sizeof(tag), "%03zu", index);
+  const std::size_t dot = out_path.rfind('.');
+  const std::size_t slash = out_path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return out_path + "." + tag;
+  }
+  return out_path.substr(0, dot) + "." + tag + out_path.substr(dot);
+}
+
+int run_convert(int argc, const char* const* argv, int begin) {
+  std::string format;
+  std::uint64_t ingest_threads = 0;
+  std::optional<double> chunk_seconds;
+  std::vector<std::string> positionals;
+
+  cli::FlagSet flags("prism convert");
+  flags.flag("--format", "csv|lft",
+             "output format (default: by <out> extension, .lft -> lft)",
+             &format);
+  flags.flag("--ingest-threads", "N", "CSV decode threads (0 = hardware)",
+             &ingest_threads);
+  flags.flag("--chunk-seconds", "S",
+             "split the output into S-second time-sliced chunk files "
+             "(<out base>.NNN.<ext>) for streaming at prismd",
+             &chunk_seconds);
+  flags.positionals("<in> <out>", 2, 2, &positionals);
+
+  if (const int rc = finish_parse(flags, flags.parse(argc, argv, begin));
+      rc >= 0) {
+    return rc;
+  }
+  const std::string& in_path = positionals[0];
+  const std::string& out_path = positionals[1];
   if (format.empty()) {
     format = out_path.ends_with(".lft") ? "lft" : "csv";
   }
+  if (format != "csv" && format != "lft") {
+    std::cerr << "prism convert: unknown format " << format
+              << " (want csv or lft)\n";
+    return 2;
+  }
+  if (chunk_seconds && *chunk_seconds <= 0) {
+    std::cerr << "prism convert: --chunk-seconds must be positive\n";
+    return 2;
+  }
 
   std::string in_format;
-  std::optional<FlowTrace> trace = load_trace(in_path, ingest_threads, in_format);
+  std::optional<FlowTrace> trace =
+      load_trace(in_path, ingest_threads, in_format);
   if (!trace) return 1;
 
-  try {
+  const auto write_one = [&](const std::string& path, const FlowTrace& t) {
     if (format == "lft") {
-      write_lft_file(out_path, *trace);
+      write_lft_file(path, t);
     } else {
-      write_csv_file(out_path, *trace);
+      write_csv_file(path, t);
     }
+  };
+
+  try {
+    if (chunk_seconds) {
+      // Time-sliced chunks need time order; a chunked file set is meant to
+      // be replayed window by window, so the sort is part of the contract.
+      trace->sort();
+      const TimeWindow span = trace->span();
+      const DurationNs chunk_ns = from_seconds(*chunk_seconds);
+      std::size_t chunks = 0;
+      std::size_t rows = 0;
+      for (TimeNs begin = span.begin; begin < span.end; begin += chunk_ns) {
+        const FlowTrace slice = trace->window({begin, begin + chunk_ns});
+        if (slice.empty()) continue;
+        write_one(chunk_path(out_path, chunks), slice);
+        ++chunks;
+        rows += slice.size();
+      }
+      std::cout << "converted " << rows << " flows: " << in_path << " ("
+                << in_format << ") -> " << chunks << " " << format
+                << " chunks of " << *chunk_seconds << "s ("
+                << chunk_path(out_path, 0) << " ...)\n";
+      return 0;
+    }
+    write_one(out_path, *trace);
   } catch (const std::exception& e) {
     std::cerr << "prism convert: " << e.what() << '\n';
     return 1;
@@ -288,335 +562,26 @@ int run_convert(int argc, char** argv) {
   return 0;
 }
 
-std::optional<CliOptions> parse_args(int argc, char** argv) {
-  CliOptions options;
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "prism: missing value for " << argv[i] << '\n';
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--machines") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.topology.num_machines =
-          static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--gpus-per-machine") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.topology.gpus_per_machine =
-          static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--machines-per-leaf") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.topology.machines_per_leaf =
-          static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--spines") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.topology.num_spines =
-          static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--window") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.window_seconds = std::stod(v);
-    } else if (arg == "--monitor-window") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.monitor_window_seconds = std::stod(v);
-    } else if (arg == "--no-carry") {
-      options.carry = false;
-    } else if (arg == "--ingest-threads") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.ingest_threads = std::stoul(v);
-    } else if (arg == "--json") {
-      options.json = true;
-    } else if (arg == "--timelines") {
-      options.timelines = true;
-    } else if (arg == "--no-reconstruct") {
-      options.reconstruct = false;
-    } else if (arg == "--no-attribute") {
-      options.attribute = false;
-    } else if (arg == "--log-level") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      const auto level = log::parse_level(v);
-      if (!level) {
-        std::cerr << "prism: unknown log level " << v << '\n';
-        return std::nullopt;
-      }
-      log::set_level(*level);
-    } else if (arg == "--metrics-out") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.metrics_out = v;
-    } else if (arg == "--trace-out") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.trace_out = v;
-    } else if (arg == "--perfetto-out") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.perfetto_out = v;
-    } else if (arg == "--series-out") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.series_out = v;
-    } else if (arg == "--journal-out") {
-      const char* v = need_value(i);
-      if (!v) return std::nullopt;
-      options.journal_out = v;
-    } else if (arg == "--help" || arg == "-h") {
-      return std::nullopt;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "prism: unknown option " << arg << '\n';
-      return std::nullopt;
-    } else if (options.trace_path.empty()) {
-      options.trace_path = arg;
-    } else {
-      std::cerr << "prism: unexpected argument " << arg << '\n';
-      return std::nullopt;
-    }
-  }
-  if (options.trace_path.empty()) return std::nullopt;
-  return options;
-}
-
-/// The job-facing export sinks requested on the command line, fed one
-/// analysis window at a time and flushed to their files once the trace is
-/// exhausted. Each is a deterministic function of the (window, report,
-/// stable-ids) sequence, so repeated runs produce bit-identical files.
-struct ExportSinks {
-  std::optional<PerfettoExporter> perfetto;
-  std::optional<JobSeriesCollector> series;
-  std::optional<IncidentJournal> journal;
-
-  explicit ExportSinks(const CliOptions& options) {
-    if (!options.perfetto_out.empty()) perfetto.emplace();
-    if (!options.series_out.empty()) series.emplace();
-    if (!options.journal_out.empty()) journal.emplace();
-  }
-
-  void add_window(const WindowExportView& view) {
-    if (perfetto) perfetto->add_window(view);
-    if (series) series->add_window(view);
-    if (journal) journal->add_window(view);
-  }
-
-  /// Writes every requested sink; returns 0 or a process exit code.
-  int write_all(const CliOptions& options) {
-    const auto write = [](const std::string& path, auto&& writer) {
-      std::ofstream out(path);
-      if (!out) {
-        std::cerr << "prism: cannot write " << path << '\n';
-        return false;
-      }
-      writer(out);
-      return true;
-    };
-    if (journal) journal->finish();
-    if (perfetto && !write(options.perfetto_out,
-                           [&](std::ostream& os) { perfetto->write(os); })) {
-      return 1;
-    }
-    if (series && !write(options.series_out, [&](std::ostream& os) {
-          if (options.series_out.ends_with(".jsonl")) {
-            series->write_jsonl(os);
-          } else {
-            series->write_openmetrics(os);
-          }
-        })) {
-      return 1;
-    }
-    if (journal && !write(options.journal_out, [&](std::ostream& os) {
-          journal->write_jsonl(os);
-        })) {
-      return 1;
-    }
-    return 0;
-  }
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::string_view(argv[1]) == "convert") {
-    return run_convert(argc, argv);
-  }
-  const auto options = parse_args(argc, argv);
-  if (!options) {
+  if (argc < 2) {
     usage();
     return 2;
   }
-
-  std::optional<LoadedFlows> loaded =
-      load_flows(options->trace_path, options->ingest_threads);
-  if (!loaded) return 1;
-  const std::string& ingest_format = loaded->format;
-  // The pipeline consumes this sorted view; on a sorted LFT file its
-  // columns alias the mapping for the whole run — zero flow copies.
-  FlowView view = loaded->view;
-  if (view.empty()) {
-    std::cerr << "prism: trace is empty\n";
-    return 1;
+  const std::string_view command = argv[1];
+  if (command == "analyze") return run_analyze(argc, argv, 2);
+  if (command == "monitor") return run_monitor_cmd(argc, argv, 2);
+  if (command == "convert") return run_convert(argc, argv, 2);
+  if (command == "serve") return serve::run_main(argc, argv, 2);
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage();
+    return 0;
   }
-
-  TopologyConfig topo_config = options->topology;
-  if (topo_config.num_machines == 0) {
-    std::uint32_t max_gpu = 0;
-    for (std::size_t i = 0; i < view.size(); ++i) {
-      max_gpu = std::max({max_gpu, view.src[i], view.dst[i]});
-    }
-    topo_config.num_machines = max_gpu / topo_config.gpus_per_machine + 1;
-  }
-
-  if (options->window_seconds) {
-    const TimeNs begin = view.time_span().begin;
-    view = view.window(
-        {begin, begin + from_seconds(*options->window_seconds)});
-  }
-
-  try {
-    const auto topology = ClusterTopology::build(topo_config);
-    PrismConfig prism_config;
-    prism_config.reconstruct_timelines = options->reconstruct;
-    prism_config.attribute = options->attribute;
-    if (const auto errors = prism_config.validate(); !errors.empty()) {
-      std::cerr << "prism: invalid configuration:\n";
-      for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
-      return 2;
-    }
-    if (!options->trace_out.empty()) obs::TraceCollector::instance().enable();
-
-    PrismReport report;
-    if (options->monitor_window_seconds) {
-      MonitorConfig monitor_config;
-      monitor_config.prism = prism_config;
-      monitor_config.window = from_seconds(*options->monitor_window_seconds);
-      monitor_config.carry_state = options->carry;
-      if (const auto errors = monitor_config.validate(); !errors.empty()) {
-        std::cerr << "prism: invalid monitor configuration:\n";
-        for (const std::string& e : errors) std::cerr << "  - " << e << '\n';
-        return 2;
-      }
-      OnlineMonitor monitor(topology, monitor_config);
-      ExportSinks sinks(*options);
-      std::vector<MonitorTick> ticks = monitor.ingest(view);
-      if (auto tail = monitor.flush()) ticks.push_back(std::move(*tail));
-      for (const MonitorTick& tick : ticks) {
-        sinks.add_window(export_view(tick));
-        if (options->json) {
-          write_report_json(std::cout, tick.report);
-          continue;
-        }
-        std::size_t alerts = 0;
-        for (const JobAnalysis& job : tick.report.jobs) {
-          alerts += job.step_alerts.size() + job.group_alerts.size();
-        }
-        std::cout << "window [" << to_seconds(tick.window.begin) << "s, "
-                  << to_seconds(tick.window.end) << "s): "
-                  << tick.report.telemetry.flows_total << " flows, "
-                  << tick.report.jobs.size() << " jobs, " << alerts
-                  << " job alerts\n";
-      }
-      if (!options->json) {
-        const MonitorStats& stats = monitor.stats();
-        std::cout << "\nmonitor: " << stats.windows_completed
-                  << " windows, " << stats.flows_ingested
-                  << " flows ingested (" << stats.flows_dropped_late
-                  << " dropped late), " << stats.stable_ids_created
-                  << " stable job ids, " << stats.step_alerts << " step / "
-                  << stats.group_alerts << " group alerts\n";
-        if (const PrismSession* session = monitor.session()) {
-          const SessionCounters& c = session->counters();
-          std::cout << "session: recognition " << c.recognition_reuses
-                    << " reused / " << c.recognition_rebuilds
-                    << " rebuilt, pairs " << c.pairs_reused << " reused / "
-                    << c.pairs_reclassified << " reclassified, boundary "
-                    << c.boundary_steps_held << " held / "
-                    << c.boundary_steps_carried << " carried, "
-                    << c.ewma_step_alerts << " ewma alerts, "
-                    << session->jobs_tracked() << " jobs tracked\n";
-        }
-      }
-      if (!options->trace_out.empty()) {
-        obs::TraceCollector::instance().disable();
-        std::ofstream out(options->trace_out);
-        if (!out) {
-          std::cerr << "prism: cannot write " << options->trace_out << '\n';
-          return 1;
-        }
-        obs::TraceCollector::instance().write_chrome_trace(out);
-      }
-      if (!options->metrics_out.empty()) {
-        std::ofstream out(options->metrics_out);
-        if (!out) {
-          std::cerr << "prism: cannot write " << options->metrics_out << '\n';
-          return 1;
-        }
-        if (options->metrics_out.ends_with(".json")) {
-          obs::default_registry().write_json(out);
-        } else {
-          obs::default_registry().write_prometheus(out);
-        }
-      }
-      return sinks.write_all(*options);
-    }
-
-    const Prism prism(topology, prism_config);
-    report = prism.analyze(view);
-    ExportSinks sinks(*options);
-    sinks.add_window({view.time_span(), &report, {}});
-    if (const int rc = sinks.write_all(*options); rc != 0) return rc;
-    if (!options->trace_out.empty()) {
-      obs::TraceCollector::instance().disable();
-      std::ofstream out(options->trace_out);
-      if (!out) {
-        std::cerr << "prism: cannot write " << options->trace_out << '\n';
-        return 1;
-      }
-      obs::TraceCollector::instance().write_chrome_trace(out);
-    }
-    if (!options->metrics_out.empty()) {
-      std::ofstream out(options->metrics_out);
-      if (!out) {
-        std::cerr << "prism: cannot write " << options->metrics_out << '\n';
-        return 1;
-      }
-      if (options->metrics_out.ends_with(".json")) {
-        obs::default_registry().write_json(out);
-      } else {
-        obs::default_registry().write_prometheus(out);
-      }
-    }
-
-    if (options->json) {
-      write_report_json(std::cout, report);
-      return 0;
-    }
-    std::cout << "analyzed " << view.size() << " flows (" << ingest_format
-              << ") over " << to_seconds(view.time_span().length()) << " s on a "
-              << topology.num_gpus() << "-GPU topology\n\n"
-              << render_report_summary(report);
-    if (options->timelines) {
-      for (const JobAnalysis& job : report.jobs) {
-        if (job.timelines.empty()) continue;
-        const std::size_t lanes =
-            std::min<std::size_t>(8, job.timelines.size());
-        std::cout << "\njob " << job.id << " timelines (first " << lanes
-                  << " ranks):\n"
-                  << render_timeline_chart(
-                         std::span(job.timelines.data(), lanes),
-                         {.width = 110});
-      }
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "prism: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+  // Deprecated bare form: `prism <trace> [options]`. Everything after
+  // argv[0] goes through the analyze parser, so old flag spellings (and
+  // unknown-option rejection) behave exactly like `prism analyze`.
+  std::cerr << "prism: note: bare `prism <trace>` is deprecated; use `prism "
+               "analyze <trace>`\n";
+  return run_analyze(argc, argv, 1);
 }

@@ -1,0 +1,11 @@
+// prismd — the standalone diagnosis daemon binary.
+//
+// Thin shell over serve::run_main (which `prism serve` execs into as
+// well): stream LPF-framed LFT flow chunks at the ingest socket, query
+// diagnosis over the HTTP socket, SIGTERM to drain + snapshot. See
+// DESIGN.md §14 and `prismd --help`.
+#include "llmprism/serve/daemon.hpp"
+
+int main(int argc, char** argv) {
+  return llmprism::serve::run_main(argc, argv);
+}
