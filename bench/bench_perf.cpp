@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "llmprism/bocd/bocd.hpp"
 #include "llmprism/common/disjoint_set.hpp"
@@ -27,6 +29,7 @@
 #include "llmprism/flow/view.hpp"
 #include "llmprism/obs/metrics.hpp"
 #include "llmprism/obs/trace_span.hpp"
+#include "llmprism/serve/queue.hpp"
 #include "llmprism/simulator/cluster_sim.hpp"
 
 namespace llmprism {
@@ -59,6 +62,26 @@ void BM_BocdObserve(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BocdObserve);
+
+// The segmentation fast path: a whole series through the SoA kernel in one
+// observe_batch() call on the pooled detector — what segment_by_gaps
+// actually runs per series. Compare against BM_BocdObserve (the per-call
+// loop) for the batch entry's overhead, which should be ~zero since both
+// share one kernel.
+void BM_BocdObserveBatch(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) xs.push_back(rng.normal(5.0, 0.2));
+  std::vector<BocdReadout> readouts(xs.size());
+  for (auto _ : state) {
+    BocdDetector& detector = pooled_detector(BocdConfig{});
+    detector.observe_batch(xs, readouts);
+    benchmark::DoNotOptimize(readouts.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * xs.size()));
+}
+BENCHMARK(BM_BocdObserveBatch);
 
 void BM_SegmentByGaps(benchmark::State& state) {
   // 50 bursts of 16 flows: the per-pair step-division workload.
@@ -185,6 +208,7 @@ void BM_StagePairIndex(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * view.size()));
+  state.counters["flows"] = static_cast<double>(view.size());
 }
 BENCHMARK(BM_StagePairIndex);
 
@@ -200,6 +224,7 @@ void BM_StageCommType(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * view.size()));
+  state.counters["flows"] = static_cast<double>(view.size());
 }
 BENCHMARK(BM_StageCommType);
 
@@ -215,6 +240,7 @@ void BM_StageTimeline(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * view.size()));
+  state.counters["flows"] = static_cast<double>(view.size());
 }
 BENCHMARK(BM_StageTimeline);
 
@@ -232,6 +258,50 @@ void BM_StageKSigma(benchmark::State& state) {
   state.counters["dp_flows"] = static_cast<double>(dp_view.size());
 }
 BENCHMARK(BM_StageKSigma);
+
+// --- daemon ingest queue ---------------------------------------------------
+// The two shard ingest queues (serve/queue.hpp) head to head: N producers
+// (first arg) against one consumer. The second arg is the queue capacity:
+// 64 is the daemon default, where producers outrun the consumer and the
+// full/park path dominates; 32768 holds the whole run, so pushes never
+// block and the measurement isolates the uncontended fast path (one CAS
+// for the ring vs a lock round-trip for the deque) — the common case in a
+// daemon whose analysis keeps up. items_per_second is end-to-end transfer
+// throughput.
+void BM_ServeQueue(benchmark::State& state, serve::QueueImpl impl) {
+  const auto producers = static_cast<std::size_t>(state.range(0));
+  const auto capacity = static_cast<std::size_t>(state.range(1));
+  constexpr std::uint64_t kTotalItems = 1 << 15;
+  const std::uint64_t per_producer = kTotalItems / producers;
+  const std::uint64_t total = per_producer * producers;
+  for (auto _ : state) {
+    const auto queue = serve::make_queue<std::uint64_t>(impl, capacity);
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&queue, per_producer] {
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          benchmark::DoNotOptimize(queue->push(i));
+        }
+      });
+    }
+    std::uint64_t drained = 0;
+    for (std::uint64_t n = 0; n < total; ++n) {
+      drained += queue->pop().has_value() ? 1 : 0;
+    }
+    for (std::thread& t : threads) t.join();
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * total));
+  state.counters["producers"] = static_cast<double>(producers);
+}
+BENCHMARK_CAPTURE(BM_ServeQueue, mutex, serve::QueueImpl::kMutex)
+    ->Args({1, 64})->Args({2, 64})->Args({4, 64})
+    ->Args({1, 32768})->Args({4, 32768})->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeQueue, lockfree, serve::QueueImpl::kLockFree)
+    ->Args({1, 64})->Args({2, 64})->Args({4, 64})
+    ->Args({1, 32768})->Args({4, 32768})->UseRealTime();
 
 ClusterSimResult& shared_multi_job_cluster() {
   // Eight 16-GPU tenants (2 machines each): the multi-tenant window shape

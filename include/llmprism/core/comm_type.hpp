@@ -26,6 +26,8 @@
 
 namespace llmprism {
 
+class ThreadPool;
+
 struct CommTypeConfig {
   /// Gap segmenter (BOCD) settings for step division over inter-flow
   /// intervals.
@@ -140,10 +142,15 @@ class CommTypeIdentifier {
   /// Columnar core: identical semantics over a non-owning SoA view (the
   /// other overloads delegate here after a transpose). Reads only the
   /// start_ns and bytes columns — never materializes a FlowRecord.
+  ///
+  /// When `pool` is non-null the per-pair classification fans out across
+  /// it. Every pair writes a pre-sized slot indexed by its dense pair id
+  /// and counters are folded in pair-id order afterwards, so the result is
+  /// bit-identical at any thread count (and to `pool == nullptr`).
   [[nodiscard]] CommTypeResult identify(
       const FlowView& view, const PairIndex& index,
       std::vector<CommType>* flow_types = nullptr,
-      CommTypeCarry* carry = nullptr) const;
+      CommTypeCarry* carry = nullptr, ThreadPool* pool = nullptr) const;
 
   /// Count distinct flow sizes under the configured relative tolerance.
   /// Exposed for tests and the ablation bench.

@@ -21,6 +21,8 @@
 
 namespace llmprism {
 
+class ThreadPool;
+
 enum class TimelineEventKind : std::uint8_t {
   kPpSend,   ///< this GPU sent a pipeline activation/gradient
   kPpRecv,   ///< this GPU received one
@@ -149,9 +151,16 @@ class TimelineReconstructor {
   /// the SoA columns directly and buckets per GPU with a dense counting
   /// gather (counts + prefix sum + scatter) instead of a hash map of
   /// vectors. Identical output, including GPU order (ascending).
+  ///
+  /// When `pool` is non-null the per-GPU assembly (sort, BOCD burst
+  /// segmentation, compute-gap fill) fans out across it. Each GPU owns a
+  /// pre-sized output slot and private telemetry counters (folded in GPU
+  /// order), and carry map entries are resolved sequentially before the
+  /// fan-out, so the result is bit-identical at any thread count.
   [[nodiscard]] std::vector<GpuTimeline> reconstruct_all(
       const FlowView& view, std::span<const CommType> flow_types,
-      SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const;
+      SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx,
+      ThreadPool* pool = nullptr) const;
 
  private:
   TimelineConfig config_;

@@ -1,7 +1,10 @@
 #include "llmprism/bocd/bocd.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <memory>
+#include <numeric>
 #include <stdexcept>
 
 #include "llmprism/obs/metrics.hpp"
@@ -16,6 +19,7 @@ struct SegmenterMetrics {
   obs::Counter& observations;
   obs::Counter& boundaries;
   obs::Counter& hard_resets;
+  obs::Counter& detector_reuses;
 };
 
 SegmenterMetrics& segmenter_metrics() {
@@ -29,6 +33,9 @@ SegmenterMetrics& segmenter_metrics() {
       obs::default_registry().counter(
           "llmprism_bocd_hard_resets_total",
           "Degenerate BOCD restarts (all hypotheses at zero likelihood)"),
+      obs::default_registry().counter(
+          "llmprism_bocd_detector_reuses_total",
+          "Series served by a pooled detector instead of a fresh one"),
   };
   return metrics;
 }
@@ -57,59 +64,90 @@ double log_student_t(double x, double nu, double mu, double s2,
 
 /// base^e by repeated squaring. Overflow to inf is benign for the
 /// predictive (base >= 1, so 1/inf -> 0 — the same underflow the exp()
-/// path produces for a hopeless hypothesis).
+/// path produces for a hopeless hypothesis). The conditional multiply is
+/// written as a select so the loop body carries no data-dependent branch
+/// (the exponent's bit pattern is effectively random across hypotheses,
+/// and a mispredict costs more than the always-multiply).
 double powi(double base, std::size_t e) {
   double r = 1.0;
   while (e != 0) {
-    if ((e & 1u) != 0) r *= base;
+    r *= (e & 1u) != 0 ? base : 1.0;
     base *= base;
     e >>= 1;
   }
   return r;
 }
 
+void validate(const BocdConfig& config) {
+  if (config.hazard_lambda <= 1.0) {
+    throw std::invalid_argument("bocd: hazard_lambda must be > 1");
+  }
+  if (config.changepoint_threshold <= 0.0 ||
+      config.changepoint_threshold >= 1.0) {
+    throw std::invalid_argument("bocd: threshold must be in (0, 1)");
+  }
+  if (config.prior_kappa <= 0.0 || config.prior_alpha <= 0.0 ||
+      config.prior_beta <= 0.0) {
+    throw std::invalid_argument("bocd: prior parameters must be positive");
+  }
+}
+
+/// nu = 2*prior_alpha + run_length: integral for any half-integral prior
+/// shape (the default 1.0 included), which unlocks the repeated-squaring
+/// predictive in the kernel's inner loop.
+bool has_integral_nu(const BocdConfig& config) {
+  const double two_alpha = 2.0 * config.prior_alpha;
+  return two_alpha == std::floor(two_alpha) && two_alpha < 1e9;
+}
+
 }  // namespace
 
 BocdDetector::BocdDetector(BocdConfig config) : config_(config) {
-  if (config_.hazard_lambda <= 1.0) {
-    throw std::invalid_argument("bocd: hazard_lambda must be > 1");
-  }
-  if (config_.changepoint_threshold <= 0.0 ||
-      config_.changepoint_threshold >= 1.0) {
-    throw std::invalid_argument("bocd: threshold must be in (0, 1)");
-  }
-  if (config_.prior_kappa <= 0.0 || config_.prior_alpha <= 0.0 ||
-      config_.prior_beta <= 0.0) {
-    throw std::invalid_argument("bocd: prior parameters must be positive");
-  }
-  // nu = 2*prior_alpha + run_length: integral for any half-integral prior
-  // shape (the default 1.0 included), which unlocks the repeated-squaring
-  // predictive in observe()'s inner loop.
-  const double two_alpha = 2.0 * config_.prior_alpha;
-  integral_nu_ = two_alpha == std::floor(two_alpha) && two_alpha < 1e9;
+  validate(config_);
+  integral_nu_ = has_integral_nu(config_);
   reset();
 }
 
 void BocdDetector::reset() {
-  components_.clear();
-  RunComponent prior;
-  prior.run_length = 0;
-  prior.probability = 1.0;
-  prior.mean = config_.prior_mean;
-  prior.kappa = config_.prior_kappa;
-  prior.alpha = config_.prior_alpha;
-  prior.beta = config_.prior_beta;
-  components_.push_back(prior);
+  if (run_length_.empty()) {
+    // First arm: room for the prior hypothesis; the kernel grows on demand.
+    run_length_.resize(1);
+    probability_.resize(1);
+    mean_.resize(1);
+    beta_.resize(1);
+  }
+  run_length_[0] = 0;
+  probability_[0] = 1.0;
+  mean_[0] = config_.prior_mean;
+  beta_[0] = config_.prior_beta;
+  size_ = 1;
+  max_run_ = 0;
   last_cp_probability_ = 0.0;
   last_recent_probability_ = 0.0;
+  last_map_run_length_ = 0;
   t_ = 0;
   hard_resets_ = 0;
+}
+
+void BocdDetector::reconfigure(const BocdConfig& config) {
+  validate(config);
+  // The lgamma / coefficient tables are pure functions of the prior shape
+  // (alpha, kappa) and the run length — prior_mean and prior_beta do not
+  // enter them, so per-series location/scale retuning keeps the caches.
+  if (config.prior_alpha != config_.prior_alpha ||
+      config.prior_kappa != config_.prior_kappa) {
+    lgamma_ratio_cache_.clear();
+    predictive_coeff_cache_.clear();
+  }
+  config_ = config;
+  integral_nu_ = has_integral_nu(config_);
+  reset();
 }
 
 double BocdDetector::lgamma_ratio(std::size_t run_length) const {
   // alpha = prior_alpha + run_length/2 exactly (0.5-additions are exact in
   // binary floating point), so caching by run length is bit-identical to
-  // recomputing from the component's alpha.
+  // recomputing from the hypothesis's alpha.
   while (lgamma_ratio_cache_.size() <= run_length) {
     const double alpha =
         config_.prior_alpha +
@@ -121,19 +159,10 @@ double BocdDetector::lgamma_ratio(std::size_t run_length) const {
   return lgamma_ratio_cache_[run_length];
 }
 
-double BocdDetector::log_predictive(const RunComponent& c, double x) const {
-  // Posterior predictive of the Normal-Inverse-Gamma model: Student-t with
-  // nu = 2*alpha, location mean, scale^2 = beta*(kappa+1)/(alpha*kappa).
-  const double nu = 2.0 * c.alpha;
-  const double s2 = c.beta * (c.kappa + 1.0) / (c.alpha * c.kappa);
-  return log_student_t(x, nu, c.mean, s2, lgamma_ratio(c.run_length));
-}
-
-const BocdDetector::PredictiveCoeff& BocdDetector::predictive_coeff(
-    std::size_t run_length) const {
+void BocdDetector::ensure_coeffs(std::size_t max_run) const {
   // Like lgamma_ratio(): kappa = prior_kappa + r and alpha =
   // prior_alpha + r/2 exactly, so caching by run length is exact.
-  while (predictive_coeff_cache_.size() <= run_length) {
+  while (predictive_coeff_cache_.size() <= max_run) {
     const auto r = static_cast<double>(predictive_coeff_cache_.size());
     const double alpha = config_.prior_alpha + 0.5 * r;
     const double kappa = config_.prior_kappa + r;
@@ -144,144 +173,267 @@ const BocdDetector::PredictiveCoeff& BocdDetector::predictive_coeff(
         std::sqrt(nu * M_PI);
     coeff.inv_nu = 1.0 / nu;
     coeff.kappa_factor = (kappa + 1.0) / (alpha * kappa);
+    coeff.kappa = kappa;
+    coeff.inv_kappa1 = 1.0 / (kappa + 1.0);
+    coeff.half_ratio = kappa / (2.0 * (kappa + 1.0));
     coeff.power = static_cast<std::size_t>(nu) + 1;
     predictive_coeff_cache_.push_back(coeff);
   }
-  return predictive_coeff_cache_[run_length];
 }
 
-double BocdDetector::predictive(const RunComponent& c, double x) const {
-  if (!integral_nu_) return std::exp(log_predictive(c, x));
+double BocdDetector::predictive(std::uint32_t run_length, double mean,
+                                double beta, double x) const {
+  if (!integral_nu_) {
+    // Posterior predictive of the Normal-Inverse-Gamma model: Student-t
+    // with nu = 2*alpha, location mean, scale^2 = beta*(kappa+1)/(alpha*
+    // kappa); alpha and kappa derived from the run length.
+    const double alpha =
+        config_.prior_alpha + 0.5 * static_cast<double>(run_length);
+    const double kappa =
+        config_.prior_kappa + static_cast<double>(run_length);
+    const double nu = 2.0 * alpha;
+    const double s2 = beta * (kappa + 1.0) / (alpha * kappa);
+    return std::exp(log_student_t(x, nu, mean, s2,
+                                  lgamma_ratio(run_length)));
+  }
   // Student-t density with integer nu, evaluated directly in linear space:
   //   t(x) = norm / sqrt(s2) * (1 + d^2/(nu s2))^-(nu+1)/2
-  // The power has integral nu+1, so u^(nu+1) comes from repeated squaring
-  // and the final halving is one sqrt — replacing the log/log1p/exp chain
-  // that dominated observe().
-  const PredictiveCoeff& k = predictive_coeff(c.run_length);
-  const double s2 = c.beta * k.kappa_factor;
-  const double d = x - c.mean;
+  // The power has integral nu+1, so u^(nu+1) comes from repeated squaring,
+  // and sqrt(s2) folds into the same square root that halves the exponent
+  // — one sqrt, one divide, no log/log1p/exp per hypothesis. powi overflow
+  // to inf is benign: 1/inf -> 0, the same underflow the exp() path
+  // produces for a hopeless hypothesis.
+  const PredictiveCoeff& k = predictive_coeff_cache_[run_length];
+  const double s2 = beta * k.kappa_factor;
+  const double d = x - mean;
   const double u = 1.0 + d * d * k.inv_nu / s2;
-  // u^((nu+1)/2) with the halving split out first, so the intermediate
-  // overflows only where the result itself does.
-  double p = powi(u, k.power >> 1);
-  if ((k.power & 1u) != 0) p *= std::sqrt(u);
-  return k.norm / (std::sqrt(s2) * p);
+  return k.norm / std::sqrt(s2 * powi(u, k.power));
 }
 
-double BocdDetector::observe(double x) {
+void BocdDetector::step(double x) {
   const double hazard = 1.0 / config_.hazard_lambda;
+  const std::size_t n = size_;
+  if (integral_nu_) ensure_coeffs(max_run_);
 
   // r_t = 0 means x is the *first* observation of a new run, so the
   // changepoint branch scores x under the prior predictive (reset
   // likelihood). Using the old run's predictive there instead would make
   // P(r_t = 0) identically equal to the hazard — useless for detection.
-  RunComponent prior;
-  prior.mean = config_.prior_mean;
-  prior.kappa = config_.prior_kappa;
-  prior.alpha = config_.prior_alpha;
-  prior.beta = config_.prior_beta;
-  const double cp_mass = predictive(prior, x) * hazard;
+  const double cp_mass =
+      predictive(0, config_.prior_mean, config_.prior_beta, x) * hazard;
 
-  // Growth branch: each run hypothesis absorbs x. (Member scratch: one
-  // observation is one inner-loop iteration of the whole pipeline, so a
-  // per-call allocation here is measurable.)
-  std::vector<RunComponent>& grown = grown_scratch_;
-  grown.clear();
-  grown.reserve(components_.size() + 1);
-  for (const RunComponent& c : components_) {
-    const double pred = predictive(c, x);
-    RunComponent g = c;
-    g.run_length = c.run_length + 1;
-    g.probability = c.probability * pred * (1.0 - hazard);
-    // Conjugate posterior update with observation x.
-    g.mean = (c.kappa * c.mean + x) / (c.kappa + 1.0);
-    g.kappa = c.kappa + 1.0;
-    g.alpha = c.alpha + 0.5;
-    g.beta = c.beta + c.kappa * (x - c.mean) * (x - c.mean) /
-                          (2.0 * (c.kappa + 1.0));
-    grown.push_back(g);
+  // Growth phase: each run hypothesis absorbs x, writing the grown state
+  // into the shadow buffer at slot i+1 (slot 0 is reserved for the fresh
+  // hypothesis). The conjugate update needs the pre-update mean, which is
+  // why growth cannot run in place over the live arrays.
+  if (next_run_length_.size() < n + 1) {
+    next_run_length_.resize(n + 1);
+    next_probability_.resize(n + 1);
+    next_mean_.resize(n + 1);
+    next_beta_.resize(n + 1);
+  }
+  const double growth = 1.0 - hazard;
+  double total = cp_mass;
+  if (integral_nu_) {
+    // Fast path: predictive inlined against the cached per-run-length
+    // coefficients, and the conjugate update's divisions replaced by the
+    // cached reciprocals (kappa is the exact affine function of the run
+    // length, so 1/(kappa+1) is data-independent — see the header).
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = run_length_[i];
+      const double m = mean_[i];
+      const double b = beta_[i];
+      const PredictiveCoeff& k = predictive_coeff_cache_[r];
+      const double s2 = b * k.kappa_factor;
+      const double d = x - m;
+      const double u = 1.0 + d * d * k.inv_nu / s2;
+      const double pred = k.norm / std::sqrt(s2 * powi(u, k.power));
+      const double p = probability_[i] * pred * growth;
+      next_run_length_[i + 1] = r + 1;
+      next_probability_[i + 1] = p;
+      next_mean_[i + 1] = (k.kappa * m + x) * k.inv_kappa1;
+      next_beta_[i + 1] = b + d * d * k.half_ratio;
+      total += p;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = run_length_[i];
+      const double m = mean_[i];
+      const double b = beta_[i];
+      const double pred = predictive(r, m, b, x);
+      const double p = probability_[i] * pred * growth;
+      const double kappa = config_.prior_kappa + static_cast<double>(r);
+      next_run_length_[i + 1] = r + 1;
+      next_probability_[i + 1] = p;
+      next_mean_[i + 1] = (kappa * m + x) / (kappa + 1.0);
+      next_beta_[i + 1] = b + kappa * (x - m) * (x - m) /
+                                  (2.0 * (kappa + 1.0));
+      total += p;
+    }
+  }
+
+  ++t_;
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    // All hypotheses assign (numerically) zero likelihood: treat as a hard
+    // changepoint and restart from the prior.
+    run_length_[0] = 0;
+    probability_[0] = 1.0;
+    mean_[0] = config_.prior_mean;
+    beta_[0] = config_.prior_beta;
+    size_ = 1;
+    max_run_ = 0;
+    last_cp_probability_ = 1.0;
+    last_recent_probability_ = 1.0;
+    last_map_run_length_ = 0;
+    ++hard_resets_;
+    return;
   }
 
   // The fresh run-length-0 hypothesis keeps the pure prior: the triggering
   // observation is treated as a boundary artefact (a step gap), not as the
   // first sample of the new regime. Absorbing it would poison every
   // post-boundary run with the gap value and mask subsequent boundaries.
-  RunComponent fresh = prior;
-  fresh.run_length = 0;
-  fresh.probability = cp_mass;
+  const double inv_total = 1.0 / total;
+  next_run_length_[0] = 0;
+  next_probability_[0] = cp_mass * inv_total;
+  next_mean_[0] = config_.prior_mean;
+  next_beta_[0] = config_.prior_beta;
 
-  double total = cp_mass;
-  for (const RunComponent& g : grown) total += g.probability;
-
-  components_.clear();
-  if (!(total > 0.0) || !std::isfinite(total)) {
-    // All hypotheses assign (numerically) zero likelihood: treat as a hard
-    // changepoint and restart from the prior.
-    fresh.probability = 1.0;
-    components_.push_back(fresh);
-    last_cp_probability_ = 1.0;
-    last_recent_probability_ = 1.0;
-    ++t_;
-    ++hard_resets_;
-    return last_cp_probability_;
+  // Prune-and-compact in one forward pass: normalize, apply the mass floor
+  // and the run-length cap, and left-compact the survivors while summing
+  // the surviving mass. The store is unconditional and the cursor advance
+  // predicated, so the loop carries no data-dependent control flow; the
+  // write cursor w never passes the read cursor (w <= i), so compaction is
+  // safe in place on the shadow buffer.
+  double kept = next_probability_[0];  // slot 0 is already normalized
+  std::size_t w = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double p = next_probability_[i] * inv_total;
+    const std::uint32_t r = next_run_length_[i];
+    next_probability_[w] = p;
+    next_run_length_[w] = r;
+    next_mean_[w] = next_mean_[i];
+    next_beta_[w] = next_beta_[i];
+    const bool keep = p >= config_.prune_mass && r < config_.max_run_length;
+    kept += keep ? p : 0.0;
+    w += keep ? 1u : 0u;
   }
 
-  fresh.probability = cp_mass / total;
-  components_.push_back(fresh);
-  for (RunComponent& g : grown) {
-    g.probability /= total;
-    if (g.probability >= config_.prune_mass &&
-        g.run_length < config_.max_run_length) {
-      components_.push_back(g);
-    }
-  }
-
-  // Top-N truncation (the fresh hypothesis at index 0 is always kept).
-  if (components_.size() > config_.max_components) {
-    const auto keep = static_cast<std::ptrdiff_t>(config_.max_components);
-    std::nth_element(components_.begin() + 1, components_.begin() + keep,
-                     components_.end(),
-                     [](const RunComponent& a, const RunComponent& b) {
-                       return a.probability > b.probability;
+  if (w > config_.max_components) {
+    // Top-N truncation (the fresh hypothesis at slot 0 is always kept):
+    // select over an index array so only 4-byte indices move, then gather
+    // the keepers back into the live arrays. nth_element's comparator sees
+    // the same probability sequence the struct-based selection would, so
+    // the kept set and its order are unchanged.
+    const std::size_t keep = config_.max_components;
+    select_idx_.resize(w - 1);
+    std::iota(select_idx_.begin(), select_idx_.end(), 1u);
+    std::nth_element(select_idx_.begin(),
+                     select_idx_.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     select_idx_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return next_probability_[a] > next_probability_[b];
                      });
-    components_.resize(config_.max_components);
-  }
-
-  // Renormalize after pruning so probabilities stay a distribution.
-  double kept = 0.0;
-  for (const RunComponent& c : components_) kept += c.probability;
-  for (RunComponent& c : components_) c.probability /= kept;
-
-  last_cp_probability_ = components_.front().probability;
-  last_recent_probability_ = 0.0;
-  for (const RunComponent& c : components_) {
-    if (c.run_length <= config_.recent_run_cap) {
-      last_recent_probability_ += c.probability;
+    if (run_length_.size() < keep) {
+      run_length_.resize(keep);
+      probability_.resize(keep);
+      mean_.resize(keep);
+      beta_.resize(keep);
     }
+    run_length_[0] = next_run_length_[0];
+    probability_[0] = next_probability_[0];
+    mean_[0] = next_mean_[0];
+    beta_[0] = next_beta_[0];
+    // Truncation drops surviving mass, so the compaction pass's running
+    // sum no longer matches: re-sum over the kept set in the gather.
+    kept = next_probability_[0];
+    for (std::size_t j = 1; j < keep; ++j) {
+      const std::uint32_t src = select_idx_[j - 1];
+      run_length_[j] = next_run_length_[src];
+      probability_[j] = next_probability_[src];
+      mean_[j] = next_mean_[src];
+      beta_[j] = next_beta_[src];
+      kept += next_probability_[src];
+    }
+    size_ = keep;
+  } else {
+    // Common case: the shadow buffer IS the new state; swap the arrays
+    // (pointer swaps, no copies).
+    run_length_.swap(next_run_length_);
+    probability_.swap(next_probability_);
+    mean_.swap(next_mean_);
+    beta_.swap(next_beta_);
+    size_ = w;
   }
-  ++t_;
+
+  // Renormalize after pruning so probabilities stay a distribution, fused
+  // with the three posterior readouts into one final pass (the surviving
+  // mass was already summed by compaction / the truncation gather).
+  const double inv_kept = 1.0 / kept;
+  const auto cap = static_cast<std::uint32_t>(config_.recent_run_cap);
+  double recent = 0.0;
+  double best_p = -1.0;
+  std::uint32_t best_r = 0;
+  std::uint32_t max_run = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const double p = probability_[i] * inv_kept;
+    probability_[i] = p;
+    const std::uint32_t r = run_length_[i];
+    if (r <= cap) recent += p;
+    if (p > best_p) {
+      best_p = p;
+      best_r = r;
+    }
+    max_run = std::max(max_run, r);
+  }
+  last_cp_probability_ = probability_[0];
+  last_recent_probability_ = recent;
+  last_map_run_length_ = best_r;
+  max_run_ = max_run;
+}
+
+double BocdDetector::observe(double x) {
+  step(x);
   return last_cp_probability_;
 }
 
-std::size_t BocdDetector::map_run_length() const {
-  std::size_t best = 0;
-  double best_p = -1.0;
-  for (const RunComponent& c : components_) {
-    if (c.probability > best_p) {
-      best_p = c.probability;
-      best = c.run_length;
-    }
+void BocdDetector::observe_batch(std::span<const double> xs) {
+  for (const double x : xs) step(x);
+}
+
+void BocdDetector::observe_batch(std::span<const double> xs,
+                                 std::span<BocdReadout> out) {
+  assert(xs.size() == out.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    step(xs[i]);
+    out[i] = BocdReadout{last_cp_probability_, last_recent_probability_,
+                         last_map_run_length_};
   }
-  return best;
+}
+
+BocdDetector& pooled_detector(const BocdConfig& config) {
+  thread_local std::unique_ptr<BocdDetector> pool;
+  if (!pool) {
+    pool = std::make_unique<BocdDetector>(config);
+  } else {
+    pool->reconfigure(config);
+    segmenter_metrics().detector_reuses.inc();
+  }
+  return *pool;
 }
 
 std::vector<std::size_t> detect_changepoints(std::span<const double> xs,
                                              const BocdConfig& config) {
-  BocdDetector detector(config);
+  BocdDetector& detector = pooled_detector(config);
+  thread_local std::vector<BocdReadout> readouts;
+  readouts.resize(xs.size());
+  detector.observe_batch(xs, readouts);
   std::vector<std::size_t> changepoints;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    detector.observe(xs[i]);
-    if (detector.last_was_changepoint()) changepoints.push_back(i);
+    if (i + 1 > config.recent_run_cap + 1 &&
+        readouts[i].recent_probability > config.changepoint_threshold) {
+      changepoints.push_back(i);
+    }
   }
   return changepoints;
 }
@@ -326,12 +478,17 @@ std::vector<std::size_t> segment_by_gaps(std::span<const TimeNs> timestamps,
                    sorted.end());
   cfg.prior_mean = sorted[sorted.size() / 2];
 
-  BocdDetector detector(cfg);
+  // One batched kernel pass over the whole series on the pooled detector,
+  // then the boundary decisions off the recorded readouts.
+  BocdDetector& detector = pooled_detector(cfg);
+  thread_local std::vector<BocdReadout> readouts;
+  readouts.resize(log_intervals.size());
+  detector.observe_batch(log_intervals, readouts);
+
   const double guard =
       cfg.prior_mean + std::log(std::max(1.0, config.gap_guard_factor));
   bool prev_flagged = false;
   for (std::size_t i = 0; i < log_intervals.size(); ++i) {
-    detector.observe(log_intervals[i]);
     // Changepoint at interval i: a new segment begins at coalesced group
     // i + 1, i.e. original element groups[i + 1].
     //
@@ -344,10 +501,11 @@ std::vector<std::size_t> segment_by_gaps(std::span<const TimeNs> timestamps,
     // (magnitude guard), and only rising edges open a segment because the
     // posterior legitimately stays "young" for a few observations after a
     // boundary.
+    const BocdReadout& ro = readouts[i];
     const bool posterior_says_cp =
-        detector.last_was_changepoint() ||
-        (detector.observations_seen() > cfg.recent_run_cap + 1 &&
-         detector.map_run_length() <= cfg.recent_run_cap);
+        i + 1 > cfg.recent_run_cap + 1 &&
+        (ro.recent_probability > cfg.changepoint_threshold ||
+         ro.map_run_length <= cfg.recent_run_cap);
     const bool flagged = posterior_says_cp && log_intervals[i] > guard;
     if (flagged && !prev_flagged) {
       starts.push_back(groups[i + 1]);

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "llmprism/common/stats.hpp"
+#include "llmprism/common/thread_pool.hpp"
 #include "llmprism/obs/metrics.hpp"
 
 namespace llmprism {
@@ -114,7 +115,8 @@ CommTypeResult CommTypeIdentifier::identify(
 
 CommTypeResult CommTypeIdentifier::identify(
     const FlowView& view, const PairIndex& pair_index,
-    std::vector<CommType>* flow_types, CommTypeCarry* carry) const {
+    std::vector<CommType>* flow_types, CommTypeCarry* carry,
+    ThreadPool* pool) const {
   CommTypeResult result;
   // CSR positions preserve trace order, so on a sorted trace every pair's
   // flows are already chronological and nothing below re-sorts.
@@ -125,9 +127,21 @@ CommTypeResult CommTypeIdentifier::identify(
   }
 
   // ---- per-pair classification (Alg. 2 lines 2-12) ----
-  // Pairs are visited in dense-id (first-appearance) order; result.pairs[id]
-  // corresponds to pair id `id` until the final deterministic re-sort.
-  for (std::size_t pair_id = 0; pair_id < pair_index.num_pairs(); ++pair_id) {
+  // Pairs fan out across the pool (the caller's per-job task participates,
+  // so a null or busy pool degenerates to the sequential in-order loop).
+  // Every pair owns slot `pair_id` in `result.pairs` and a private counter
+  // slot; `carry->pre_types` is only read here (rebuilt after the loop) and
+  // the pooled BOCD detector is thread-local, so iterations share no
+  // mutable state. Counters fold in pair-id order below — the result is
+  // bit-identical at any thread count. result.pairs[id] corresponds to
+  // dense pair id `id` until the final deterministic re-sort.
+  const std::size_t num_pairs = pair_index.num_pairs();
+  result.pairs.resize(num_pairs);
+  std::vector<CommTypeCounters> slot_counters(num_pairs);
+  // 0 = cold, 1 = warm-reused, 2 = reclassified (carry telemetry).
+  std::vector<std::uint8_t> slot_warmth(num_pairs, 0);
+  parallel_for(pool, num_pairs, [&](std::size_t pair_id) {
+    CommTypeCounters& counters = slot_counters[pair_id];
     const std::span<const std::size_t> flow_idxs =
         pair_index.positions(pair_id);
     PairClassification pc;
@@ -158,12 +172,12 @@ CommTypeResult CommTypeIdentifier::identify(
           // BOCD was skipped: no step observations this window (documented
           // work-telemetry difference of the warm path).
           pc.num_steps_observed = 0;
-          ++carry->pairs_reused;
-          result.pairs.push_back(std::move(pc));
-          continue;
+          slot_warmth[pair_id] = 1;
+          result.pairs[pair_id] = std::move(pc);
+          return;
         }
       }
-      ++carry->pairs_reclassified;
+      slot_warmth[pair_id] = 2;
     }
 
     // (1)+(2) step division via BOCD over inter-flow intervals.
@@ -188,7 +202,7 @@ CommTypeResult CommTypeIdentifier::identify(
     }
 
     const auto segment_starts = segment_by_gaps(timestamps, config_.segmenter,
-                                                &result.counters.segmenter);
+                                                &counters.segmenter);
     pc.num_steps_observed = segment_starts.size();
 
     // Pair-level size clusters with tolerance merging; clusters carrying
@@ -224,8 +238,8 @@ CommTypeResult CommTypeIdentifier::identify(
       for (SizeCluster& c : clusters) {
         c.kept = static_cast<double>(c.count) >= min_count;
         if (!c.kept) {
-          ++result.counters.artifact_size_clusters;
-          result.counters.artifact_flows += c.count;
+          ++counters.artifact_size_clusters;
+          counters.artifact_flows += c.count;
         }
       }
     }
@@ -263,7 +277,7 @@ CommTypeResult CommTypeIdentifier::identify(
       if (seen != 0) {
         distinct_per_step.push_back(static_cast<std::int64_t>(seen));
       } else {
-        ++result.counters.artifact_segments;
+        ++counters.artifact_segments;
       }
     }
     const std::int64_t mode_distinct =
@@ -271,7 +285,17 @@ CommTypeResult CommTypeIdentifier::identify(
     pc.pre_refinement_type =
         mode_distinct == 1 ? CommType::kPP : CommType::kDP;
     pc.type = pc.pre_refinement_type;
-    result.pairs.push_back(std::move(pc));
+    result.pairs[pair_id] = std::move(pc);
+  });
+
+  // Fold the per-pair telemetry in pair-id order (integer event counts, so
+  // the totals equal the old in-loop accumulation exactly).
+  for (std::size_t pair_id = 0; pair_id < num_pairs; ++pair_id) {
+    result.counters += slot_counters[pair_id];
+    if (carry != nullptr) {
+      if (slot_warmth[pair_id] == 1) ++carry->pairs_reused;
+      if (slot_warmth[pair_id] == 2) ++carry->pairs_reclassified;
+    }
   }
 
   // ---- DP graph + DFS components (Alg. 2 lines 13-16) ----

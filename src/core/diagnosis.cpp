@@ -260,18 +260,20 @@ std::vector<GroupAlert> Diagnoser::cross_group(
 namespace {
 
 /// Highest switch id appearing in the view's hops (0 and false when there
-/// are none). Iterates per flow because a sliced view keeps absolute CSR
-/// offsets over the parent's hop storage.
+/// are none). CSR offsets are monotone, so the view's hop ids — even for a
+/// slice, whose offsets are absolute into the parent's storage — occupy the
+/// contiguous range switch_ids[offsets[0] .. offsets[size())); one flat
+/// scan over that range replaces the per-flow span walk.
 std::pair<std::uint32_t, bool> max_switch_id(const FlowView& v) {
+  if (v.switch_offsets.empty() || v.empty()) return {0, false};
+  const std::uint64_t lo = v.switch_offsets[0];
+  const std::uint64_t hi = v.switch_offsets[v.size()];
+  if (lo == hi) return {0, false};
   std::uint32_t max_sw = 0;
-  bool any = false;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    for (const std::uint32_t sw : v.switches(i)) {
-      max_sw = std::max(max_sw, sw);
-      any = true;
-    }
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    max_sw = std::max(max_sw, v.switch_ids[k]);
   }
-  return {max_sw, any};
+  return {max_sw, true};
 }
 
 }  // namespace
@@ -417,55 +419,60 @@ std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
 
 std::vector<SwitchConcurrencyAlert> Diagnoser::switch_concurrency(
     const FlowView& dp_flows) const {
-  // Sweep line per switch: +1 at flow start, -1 at flow end. Events are
-  // CSR-gathered per switch (count, prefix sum, scatter), then each
-  // switch's slice is sorted independently.
+  // Sweep line per switch over split start/end arrays: the CSR scatter
+  // preserves flow order, so on a time-sorted view each switch's start
+  // slice is born sorted and only the end slice needs sorting — half the
+  // sort volume of an interleaved (+1/-1) event list, on plain TimeNs
+  // instead of 16-byte event structs.
   const auto [max_sw, any] = max_switch_id(dp_flows);
   if (!any) return {};
-  struct Event {
-    TimeNs at;
-    int delta;
-  };
   const std::size_t slots = static_cast<std::size_t>(max_sw) + 1;
   std::vector<std::size_t> counts(slots + 1, 0);
   // Per-flow hop iteration (not the raw hop column): a sliced view keeps
   // absolute CSR offsets over the parent's hop storage.
   for (std::size_t i = 0; i < dp_flows.size(); ++i) {
-    for (const std::uint32_t sw : dp_flows.switches(i)) counts[sw + 1] += 2;
+    for (const std::uint32_t sw : dp_flows.switches(i)) ++counts[sw + 1];
   }
   for (std::size_t s = 0; s < slots; ++s) counts[s + 1] += counts[s];
-  std::vector<Event> events(counts[slots]);
+  std::vector<TimeNs> starts(counts[slots]);
+  std::vector<TimeNs> ends(counts[slots]);
   {
     std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
     for (std::size_t i = 0; i < dp_flows.size(); ++i) {
+      const TimeNs start = dp_flows.start_ns[i];
+      const TimeNs end = dp_flows.end_ns(i);
       for (const std::uint32_t sw : dp_flows.switches(i)) {
-        events[cursor[sw]++] = {dp_flows.start_ns[i], +1};
-        events[cursor[sw]++] = {dp_flows.end_ns(i), -1};
+        starts[cursor[sw]] = start;
+        ends[cursor[sw]] = end;
+        ++cursor[sw];
       }
     }
   }
   std::vector<SwitchConcurrencyAlert> alerts;
   for (std::uint32_t sw = 0; sw <= max_sw; ++sw) {
     if (counts[sw] == counts[sw + 1]) continue;
-    const auto begin = events.begin() + static_cast<std::ptrdiff_t>(counts[sw]);
-    const auto end =
-        events.begin() + static_cast<std::ptrdiff_t>(counts[sw + 1]);
-    std::sort(begin, end, [](const Event& a, const Event& b) {
-      if (a.at != b.at) return a.at < b.at;
-      return a.delta < b.delta;  // process ends before starts at ties
-    });
-    std::size_t current = 0;
+    const std::ptrdiff_t lo = static_cast<std::ptrdiff_t>(counts[sw]);
+    const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(counts[sw + 1]);
+    if (!std::is_sorted(starts.begin() + lo, starts.begin() + hi)) {
+      std::sort(starts.begin() + lo, starts.begin() + hi);
+    }
+    std::sort(ends.begin() + lo, ends.begin() + hi);
+    // Two-pointer sweep, ends processed first at ties (a flow ending the
+    // instant another starts never overlaps it). Signed so a degenerate
+    // zero-duration flow (end == its own start) cannot wrap the count.
+    std::ptrdiff_t current = 0;
     std::size_t peak = 0;
     TimeNs peak_at = 0;
-    for (auto it = begin; it != end; ++it) {
-      if (it->delta > 0) {
-        ++current;
-        if (current > peak) {
-          peak = current;
-          peak_at = it->at;
-        }
-      } else {
+    std::ptrdiff_t e = lo;
+    for (std::ptrdiff_t s = lo; s < hi; ++s) {
+      while (e < hi && ends[e] <= starts[s]) {
         --current;
+        ++e;
+      }
+      ++current;
+      if (current > 0 && static_cast<std::size_t>(current) > peak) {
+        peak = static_cast<std::size_t>(current);
+        peak_at = starts[s];
       }
     }
     if (peak > config_.switch_dp_flow_limit) {
@@ -558,7 +565,10 @@ std::vector<BandwidthOnset> detect_bandwidth_onsets(
     const double target_scale = 10.0 * s_data;
     cfg.prior_beta = target_scale * target_scale * cfg.prior_alpha *
                      cfg.prior_kappa / (cfg.prior_kappa + 1.0);
-    BocdDetector detector(cfg);
+    // Pooled detector: one instance per thread serves every switch series,
+    // and the per-run-length coefficient caches survive across series (only
+    // prior_mean / prior_beta vary here — the prior shape is fixed).
+    BocdDetector& detector = pooled_detector(cfg);
     for (std::size_t i = 0; i < s.gbps.size(); ++i) {
       detector.observe(normalized[i]);
       // Recent-mass threshold OR MAP run-length collapse (as in

@@ -396,8 +396,12 @@ PrismReport Prism::analyze_sorted(const FlowView& view,
           state != nullptr && session->config().reuse_comm_types
               ? &state->comm
               : nullptr;
-      analysis.comm_types =
-          identifier.identify(job_view, pair_index, &flow_types, carry);
+      // The pool is shared with the per-job fan-out: each pair/GPU is an
+      // independently claimed task, so a lone huge job still saturates the
+      // pool instead of serializing on one per-job task.
+      analysis.comm_types = identifier.identify(job_view, pair_index,
+                                                &flow_types, carry,
+                                                pool_.get());
     }
 
     // Collect this job's DP flows for cluster-wide switch diagnosis; the
@@ -420,7 +424,7 @@ PrismReport Prism::analyze_sorted(const FlowView& view,
           tctx.boundary_hold = session->config().boundary_hold;
         }
         analysis.timelines = reconstructor.reconstruct_all(
-            job_view, flow_types, &timeline_stats[j], tctx);
+            job_view, flow_types, &timeline_stats[j], tctx, pool_.get());
       }
       const obs::Span span("job.diagnosis", j);
       if (state != nullptr && session->config().ewma_baselines) {

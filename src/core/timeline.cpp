@@ -1,7 +1,10 @@
 #include "llmprism/core/timeline.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
+
+#include "llmprism/common/thread_pool.hpp"
 
 namespace llmprism {
 
@@ -45,24 +48,37 @@ CommType type_of(const FlowRecord& f,
   return it != types.end() ? it->second : CommType::kPP;
 }
 
+/// One GPU's share of a carry-aware reconstruction: its (pre-resolved)
+/// per-GPU carry entry and private copies of the TimelineCarry call
+/// counters. Pre-resolving the map entry and privatizing the counters is
+/// what lets assemble() calls for different GPUs run concurrently — no
+/// task inserts into `carry->per_gpu` or bumps a shared counter; the
+/// caller folds the slots in GPU order.
+struct CarrySlot {
+  GpuStepCarry* carry = nullptr;
+  std::uint64_t steps_held = 0;
+  std::uint64_t steps_carried_in = 0;
+};
+
 /// Build the timeline of one GPU from its (chronological) comm events.
-/// With a carry context (`ctx` non-null and ctx->carry set), held-back DP
-/// events from the previous window are prepended, step 0 begins at the
+/// With a carry context (`ctx` non-null and `slot->carry` set), held-back
+/// DP events from the previous window are prepended, step 0 begins at the
 /// carried previous step end, and a trailing near-boundary burst is held
 /// back instead of emitted; the null-context path is the cold behavior,
 /// bit for bit.
 GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
                      const TimelineConfig& config,
                      SegmenterStats* segmenter_stats = nullptr,
-                     const TimelineCarryContext* ctx = nullptr) {
+                     const TimelineCarryContext* ctx = nullptr,
+                     CarrySlot* slot = nullptr) {
   GpuTimeline timeline;
   timeline.gpu = gpu;
 
   GpuStepCarry* carry = nullptr;
-  if (ctx != nullptr && ctx->carry != nullptr) {
-    carry = &ctx->carry->per_gpu[gpu];
+  if (ctx != nullptr && slot != nullptr && slot->carry != nullptr) {
+    carry = slot->carry;
     if (!carry->held_events.empty()) {
-      ++ctx->carry->steps_carried_in;
+      ++slot->steps_carried_in;
       comm_events.insert(comm_events.end(), carry->held_events.begin(),
                          carry->held_events.end());
       carry->held_events.clear();
@@ -124,7 +140,7 @@ GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
           held[dp_event_idx[i]] = true;
           any_held = true;
         }
-        ++ctx->carry->steps_held;
+        ++slot->steps_held;
         continue;
       }
       ReconstructedStep step;
@@ -167,6 +183,40 @@ GpuTimeline assemble(GpuId gpu, std::vector<TimelineEvent> comm_events,
     busy_until = std::max(busy_until, e.end);
   }
   return timeline;
+}
+
+/// Fan the per-GPU assembly across `pool` (ascending `gpu_ids` order is
+/// the output order). Each GPU owns output slot k and private telemetry;
+/// carry map entries are resolved sequentially up front so no task touches
+/// `ctx->carry->per_gpu` (inserts could rehash under a concurrent reader).
+/// Counter folds run in GPU order — integer event counts, so the totals
+/// match the sequential loop exactly.
+std::vector<GpuTimeline> assemble_all(
+    std::span<const std::uint32_t> gpu_ids,
+    const std::function<std::vector<TimelineEvent>(std::uint32_t)>& events_of,
+    const TimelineConfig& config, SegmenterStats* segmenter_stats,
+    const TimelineCarryContext* ctx, ThreadPool* pool) {
+  const std::size_t n = gpu_ids.size();
+  std::vector<CarrySlot> slots(n);
+  if (ctx != nullptr && ctx->carry != nullptr) {
+    for (std::size_t k = 0; k < n; ++k) {
+      slots[k].carry = &ctx->carry->per_gpu[GpuId(gpu_ids[k])];
+    }
+  }
+  std::vector<SegmenterStats> slot_stats(n);
+  std::vector<GpuTimeline> out(n);
+  parallel_for(pool, n, [&](std::size_t k) {
+    out[k] = assemble(GpuId(gpu_ids[k]), events_of(gpu_ids[k]), config,
+                      &slot_stats[k], ctx, &slots[k]);
+  });
+  for (std::size_t k = 0; k < n; ++k) {
+    if (segmenter_stats != nullptr) *segmenter_stats += slot_stats[k];
+    if (ctx != nullptr && ctx->carry != nullptr) {
+      ctx->carry->steps_held += slots[k].steps_held;
+      ctx->carry->steps_carried_in += slots[k].steps_carried_in;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -213,7 +263,8 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
 
 std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     const FlowView& view, std::span<const CommType> flow_types,
-    SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx) const {
+    SegmenterStats* segmenter_stats, const TimelineCarryContext& ctx,
+    ThreadPool* pool) const {
   if (ctx.carry != nullptr) {
     ctx.carry->steps_held = 0;
     ctx.carry->steps_carried_in = 0;
@@ -267,16 +318,17 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
             make_event(view, i, view.dst[i], flow_types[i]);
       }
     }
-    std::vector<GpuTimeline> out;
+    std::vector<std::uint32_t> gpu_ids;
     for (std::size_t g = 0; g < span_size; ++g) {
-      if (!present[g]) continue;
-      out.push_back(assemble(
-          GpuId(static_cast<std::uint32_t>(g)),
-          std::vector<TimelineEvent>(flat.begin() + counts[g],
-                                     flat.begin() + counts[g + 1]),
-          config_, segmenter_stats, carry_ctx));
+      if (present[g]) gpu_ids.push_back(static_cast<std::uint32_t>(g));
     }
-    return out;
+    return assemble_all(
+        gpu_ids,
+        [&](std::uint32_t g) {
+          return std::vector<TimelineEvent>(flat.begin() + counts[g],
+                                            flat.begin() + counts[g + 1]);
+        },
+        config_, segmenter_stats, carry_ctx, pool);
   }
 
   std::unordered_map<GpuId, std::vector<TimelineEvent>> per_gpu;
@@ -287,18 +339,19 @@ std::vector<GpuTimeline> TimelineReconstructor::reconstruct_all(
     per_gpu[GpuId(view.dst[i])].push_back(
         make_event(view, i, view.dst[i], flow_types[i]));
   }
-  std::vector<GpuId> gpus;
+  std::vector<std::uint32_t> gpus;
   gpus.reserve(per_gpu.size());
-  for (const auto& [gpu, events] : per_gpu) gpus.push_back(gpu);
+  for (const auto& [gpu, events] : per_gpu) gpus.push_back(gpu.value());
   std::sort(gpus.begin(), gpus.end());
 
-  std::vector<GpuTimeline> out;
-  out.reserve(gpus.size());
-  for (const GpuId g : gpus) {
-    out.push_back(assemble(g, std::move(per_gpu[g]), config_,
-                           segmenter_stats, carry_ctx));
-  }
-  return out;
+  // Every key already exists, so the concurrent find() calls below never
+  // mutate the map.
+  return assemble_all(
+      gpus,
+      [&](std::uint32_t g) {
+        return std::move(per_gpu.find(GpuId(g))->second);
+      },
+      config_, segmenter_stats, carry_ctx, pool);
 }
 
 }  // namespace llmprism

@@ -104,69 +104,49 @@ struct Chunk {
   FlowTrace trace;
 };
 
-/// Bounded MPSC chunk queue — THE backpressure mechanism: push blocks
-/// while the queue is full, so a shard whose analysis falls behind slows
-/// its producers down instead of buffering without bound.
+/// The shard ingest queue: a BoundedQueue (mutex or lock-free ring, per
+/// ServeConfig::queue_impl — see serve/queue.hpp) plus the daemon's
+/// telemetry: backpressure waits, and the cross-shard depth gauge.
 class ChunkQueue {
  public:
-  explicit ChunkQueue(std::size_t capacity) : capacity_(capacity) {}
+  ChunkQueue(QueueImpl impl, std::size_t capacity)
+      : queue_(make_queue<Chunk>(impl, capacity)) {}
 
   /// Blocks while full (counted once per blocking push). Returns false
   /// when the queue was closed (shutdown) — the chunk is dropped.
   bool push(Chunk chunk, std::atomic<std::uint64_t>& wait_counter) {
-    std::unique_lock lock(mu_);
-    if (items_.size() >= capacity_ && !closed_) {
+    const PushOutcome outcome = queue_->push(std::move(chunk));
+    if (outcome.blocked) {
       wait_counter.fetch_add(1, std::memory_order_relaxed);
       backpressure_counter().inc();
-      not_full_.wait(lock,
-                     [&] { return items_.size() < capacity_ || closed_; });
     }
-    if (closed_) return false;
-    items_.push_back(std::move(chunk));
-    queue_depth_gauge().set(static_cast<double>(
-        total_queued_.fetch_add(1, std::memory_order_relaxed) + 1));
-    not_empty_.notify_one();
-    return true;
+    if (outcome.accepted) {
+      queue_depth_gauge().set(static_cast<double>(
+          total_queued_.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+    return outcome.accepted;
   }
 
   /// Blocks until an item arrives or the queue is closed AND drained
   /// (then nullopt — the consumer's exit signal).
   std::optional<Chunk> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    Chunk chunk = std::move(items_.front());
-    items_.pop_front();
-    queue_depth_gauge().set(static_cast<double>(
-        total_queued_.fetch_sub(1, std::memory_order_relaxed) - 1));
-    not_full_.notify_one();
+    std::optional<Chunk> chunk = queue_->pop();
+    if (chunk) {
+      queue_depth_gauge().set(static_cast<double>(
+          total_queued_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    }
     return chunk;
   }
 
-  void close() {
-    {
-      const std::lock_guard lock(mu_);
-      closed_ = true;
-    }
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
+  void close() { queue_->close(); }
 
-  [[nodiscard]] std::size_t depth() const {
-    const std::lock_guard lock(mu_);
-    return items_.size();
-  }
+  [[nodiscard]] std::size_t depth() const { return queue_->depth(); }
 
  private:
   /// Chunks queued across ALL ChunkQueue instances (feeds the gauge).
   static inline std::atomic<std::uint64_t> total_queued_{0};
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Chunk> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  std::unique_ptr<BoundedQueue<Chunk>> queue_;
 };
 
 /// Decorate every configured path with a per-shard suffix so a multi-shard
@@ -309,7 +289,7 @@ struct PrismDaemon::Impl {
     Shard(const ClusterTopology& topology, const ServeConfig& config,
           std::size_t index)
         : monitor(topology, config.monitor),
-          queue(config.queue_capacity),
+          queue(config.queue_impl, config.queue_capacity),
           snapshot_file(
               shard_path(config.snapshot_path, index, config.shards)) {}
 
@@ -760,6 +740,7 @@ int run_main(int argc, const char* const* argv, int begin) {
   bool no_carry = false;
   std::uint64_t shards = 1;
   std::uint64_t queue_capacity = 64;
+  std::string queue_impl = "lockfree";
   ServeConfig config;
   std::string log_level;
 
@@ -780,6 +761,8 @@ int run_main(int argc, const char* const* argv, int begin) {
   flags.flag("--queue-capacity", "N",
              "chunks buffered per shard before backpressure (default 64)",
              &queue_capacity);
+  flags.flag("--queue-impl", "IMPL",
+             "shard ingest queue: lockfree (default) or mutex", &queue_impl);
   flags.flag("--ingest-socket", "PATH",
              "Unix socket for LPF-framed flow chunks", &config.ingest_socket);
   flags.flag("--ingest-port", "PORT", "TCP ingest on 127.0.0.1 instead",
@@ -835,6 +818,14 @@ int run_main(int argc, const char* const* argv, int begin) {
 
   config.shards = static_cast<std::size_t>(shards);
   config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  if (const auto impl = parse_queue_impl(queue_impl)) {
+    config.queue_impl = *impl;
+  } else {
+    std::fprintf(stderr,
+                 "prism serve: unknown queue impl %s (lockfree|mutex)\n",
+                 queue_impl.c_str());
+    return 2;
+  }
   config.monitor.window = from_seconds(window_seconds);
   config.monitor.carry_state = !no_carry;
 

@@ -1,9 +1,18 @@
-// Unit tests for Bayesian Online Changepoint Detection.
+// Unit tests for Bayesian Online Changepoint Detection, including the
+// differential suite for the structure-of-arrays engine: observe_batch()
+// must be bitwise identical to the observe() loop (they share one kernel),
+// and the retuned defaults (max_components 8, prune_mass 1e-6) must leave
+// every boundary decision on the fixture series identical to the
+// conservative configuration (64, 1e-8) the detector originally shipped
+// with.
 #include "llmprism/bocd/bocd.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "llmprism/common/rng.hpp"
@@ -106,6 +115,252 @@ TEST(DetectChangepointsTest, FindsSingleShift) {
 
 TEST(DetectChangepointsTest, EmptyInput) {
   EXPECT_TRUE(detect_changepoints({}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite for the SoA engine.
+//
+// Fixture generators are self-contained (a pinned LCG, not common/rng.hpp)
+// so the series bytes can never drift under an Rng refactor.
+
+struct Lcg {
+  std::uint64_t s;
+  double next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(s >> 11) / 9007199254740992.0;
+  }
+  // Irwin–Hall(4) centered: cheap, smooth, roughly Gaussian on [-2, 2].
+  double gauss_ish() { return next() + next() + next() + next() - 2.0; }
+};
+
+// 30 training steps of 24 flows, 1–3 ms intra-step intervals, 700–900 ms
+// step gaps — the per-pair DP traffic shape segment_by_gaps exists for.
+std::vector<TimeNs> step_timestamps() {
+  Lcg rng{20260808ULL};
+  std::vector<TimeNs> ts;
+  TimeNs t = 5 * kMillisecond;
+  for (int step = 0; step < 30; ++step) {
+    for (int f = 0; f < 24; ++f) {
+      ts.push_back(t);
+      t += static_cast<TimeNs>((1.0 + 2.0 * rng.next()) * kMillisecond);
+    }
+    t += static_cast<TimeNs>((700.0 + 200.0 * rng.next()) * kMillisecond);
+  }
+  return ts;
+}
+
+// Level shifts of 3 sigma-units every 50 observations (cycling through
+// three levels): a dense-changepoint series that keeps many run-length
+// hypotheses alive, exercising the prune/compact path hard.
+std::vector<double> shifting_series() {
+  Lcg rng{7ULL};
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) {
+    const double level = 2.0 + 3.0 * static_cast<double>((i / 50) % 3);
+    xs.push_back(level + 0.25 * rng.gauss_ish());
+  }
+  return xs;
+}
+
+// Two 1e150 spikes: every hypothesis gets (numerically) zero likelihood,
+// forcing the hard-reset-from-prior path twice.
+std::vector<double> hard_reset_series() {
+  Lcg rng{1234ULL};
+  std::vector<double> xs;
+  for (int i = 0; i < 160; ++i) {
+    if (i == 60 || i == 120) {
+      xs.push_back(1e150);
+    } else {
+      xs.push_back(1.0 + 0.1 * rng.gauss_ish());
+    }
+  }
+  return xs;
+}
+
+// One stationary run long enough that the hypothesis count rides the
+// max_components cap the whole time (truncation every observation).
+std::vector<double> stationary_series() {
+  Lcg rng{99ULL};
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(5.0 + 0.3 * rng.gauss_ish());
+  return xs;
+}
+
+// Drives `xs` through one detector per path — observe() loop vs
+// observe_batch() with readouts — and asserts the per-observation posterior
+// readouts and the final detector state are BITWISE identical (EXPECT_EQ on
+// double is exact equality). The two paths share one step() kernel, so any
+// divergence is a kernel regression, not rounding.
+void expect_batch_matches_loop(const std::vector<double>& xs,
+                               const BocdConfig& config) {
+  BocdDetector loop_detector(config);
+  std::vector<BocdReadout> loop_readouts;
+  loop_readouts.reserve(xs.size());
+  for (const double x : xs) {
+    loop_detector.observe(x);
+    loop_readouts.push_back({loop_detector.last_cp_probability(),
+                             loop_detector.last_recent_probability(),
+                             static_cast<std::uint32_t>(
+                                 loop_detector.map_run_length())});
+  }
+
+  BocdDetector batch_detector(config);
+  std::vector<BocdReadout> batch_readouts(xs.size());
+  batch_detector.observe_batch(xs, batch_readouts);
+
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(batch_readouts[i].cp_probability,
+              loop_readouts[i].cp_probability)
+        << "cp_probability diverged at observation " << i;
+    ASSERT_EQ(batch_readouts[i].recent_probability,
+              loop_readouts[i].recent_probability)
+        << "recent_probability diverged at observation " << i;
+    ASSERT_EQ(batch_readouts[i].map_run_length,
+              loop_readouts[i].map_run_length)
+        << "map_run_length diverged at observation " << i;
+  }
+  EXPECT_EQ(batch_detector.observations_seen(),
+            loop_detector.observations_seen());
+  EXPECT_EQ(batch_detector.hard_resets(), loop_detector.hard_resets());
+  EXPECT_EQ(batch_detector.last_cp_probability(),
+            loop_detector.last_cp_probability());
+  EXPECT_EQ(batch_detector.map_run_length(), loop_detector.map_run_length());
+}
+
+TEST(BocdBatchDifferentialTest, ShiftingSeriesDefaults) {
+  expect_batch_matches_loop(shifting_series(), BocdConfig{});
+}
+
+TEST(BocdBatchDifferentialTest, StationarySeriesDefaults) {
+  expect_batch_matches_loop(stationary_series(), BocdConfig{});
+}
+
+TEST(BocdBatchDifferentialTest, HardResetSeries) {
+  // The degenerate-restart path must round-trip too: batch and loop reset
+  // from the prior at the same observations.
+  expect_batch_matches_loop(hard_reset_series(), BocdConfig{});
+  BocdDetector d;
+  for (const double x : hard_reset_series()) d.observe(x);
+  EXPECT_EQ(d.hard_resets(), 2u);
+}
+
+TEST(BocdBatchDifferentialTest, PruneBoundaryConfigs) {
+  // Configurations that sit ON the prune/compact boundaries: an aggressive
+  // mass floor (hypotheses die constantly), a cap of 1 (only the reset
+  // hypothesis survives), and the old conservative shape.
+  for (const auto& [cap, prune] :
+       {std::pair<std::size_t, double>{8, 1e-3},
+        std::pair<std::size_t, double>{1, 1e-6},
+        std::pair<std::size_t, double>{2, 1e-2},
+        std::pair<std::size_t, double>{64, 1e-8}}) {
+    BocdConfig cfg;
+    cfg.max_components = cap;
+    cfg.prune_mass = prune;
+    expect_batch_matches_loop(shifting_series(), cfg);
+    expect_batch_matches_loop(hard_reset_series(), cfg);
+  }
+}
+
+TEST(BocdBatchDifferentialTest, PooledDetectorMatchesFresh) {
+  // The pooled-reuse path (reconfigure + cached coefficient tables) must
+  // give the same answers as a freshly constructed detector. Run two
+  // different series back-to-back through the pool so the second call
+  // actually reuses warmed state.
+  BocdConfig cfg;
+  const auto first = shifting_series();
+  const auto second = stationary_series();
+
+  BocdDetector& pooled1 = pooled_detector(cfg);
+  std::vector<BocdReadout> pooled_first(first.size());
+  pooled1.observe_batch(first, pooled_first);
+  BocdDetector& pooled2 = pooled_detector(cfg);
+  std::vector<BocdReadout> pooled_second(second.size());
+  pooled2.observe_batch(second, pooled_second);
+
+  BocdDetector fresh1(cfg);
+  std::vector<BocdReadout> fresh_first(first.size());
+  fresh1.observe_batch(first, fresh_first);
+  BocdDetector fresh2(cfg);
+  std::vector<BocdReadout> fresh_second(second.size());
+  fresh2.observe_batch(second, fresh_second);
+
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(pooled_first[i].cp_probability, fresh_first[i].cp_probability)
+        << "first series diverged at " << i;
+  }
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_EQ(pooled_second[i].cp_probability, fresh_second[i].cp_probability)
+        << "reused detector diverged at " << i;
+    ASSERT_EQ(pooled_second[i].map_run_length, fresh_second[i].map_run_length)
+        << "reused detector MAP diverged at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index-level fixtures. These pin the detector's DECISIONS (boundary and
+// changepoint indices) on the fixture series, captured from the engine
+// under the old conservative configuration — and assert the retuned
+// defaults reproduce them exactly. This is the contract that let the
+// defaults change: the cap and mass floor only drop hypotheses whose
+// posterior mass is orders of magnitude below every boundary decision.
+
+const std::vector<std::size_t> kStepBoundaries = {
+    0,   24,  48,  72,  96,  120, 144, 168, 192, 216,
+    240, 264, 288, 312, 336, 360, 384, 408, 432, 456,
+    480, 504, 528, 552, 576, 600, 624, 648, 672, 696};
+const std::vector<std::size_t> kShiftChangepoints = {
+    50, 51, 100, 101, 150, 151, 152, 200, 201, 251};
+const std::vector<std::size_t> kHardResetChangepoints = {60,  61,  62,
+                                                         120, 121, 122};
+
+// The two configurations every fixture must agree under.
+std::vector<BocdConfig> fixture_configs() {
+  BocdConfig old_explicit;  // what the detector originally shipped with
+  old_explicit.max_components = 64;
+  old_explicit.prune_mass = 1e-8;
+  return {BocdConfig{}, old_explicit};
+}
+
+TEST(BocdFixtureTest, StepBoundariesStableAcrossConfigs) {
+  const auto ts = step_timestamps();
+  for (const BocdConfig& cfg : fixture_configs()) {
+    SegmenterConfig scfg;
+    scfg.bocd = cfg;
+    EXPECT_EQ(segment_by_gaps(ts, scfg), kStepBoundaries)
+        << "cap=" << cfg.max_components << " prune=" << cfg.prune_mass;
+  }
+}
+
+TEST(BocdFixtureTest, ShiftChangepointsStableAcrossConfigs) {
+  const auto xs = shifting_series();
+  for (const BocdConfig& cfg : fixture_configs()) {
+    EXPECT_EQ(detect_changepoints(xs, cfg), kShiftChangepoints)
+        << "cap=" << cfg.max_components << " prune=" << cfg.prune_mass;
+  }
+}
+
+TEST(BocdFixtureTest, HardResetChangepointsStableAcrossConfigs) {
+  const auto xs = hard_reset_series();
+  for (const BocdConfig& cfg : fixture_configs()) {
+    BocdDetector d(cfg);
+    std::vector<std::size_t> cps;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      d.observe(xs[i]);
+      if (d.last_was_changepoint()) cps.push_back(i);
+    }
+    EXPECT_EQ(cps, kHardResetChangepoints)
+        << "cap=" << cfg.max_components << " prune=" << cfg.prune_mass;
+    EXPECT_EQ(d.hard_resets(), 2u);
+  }
+}
+
+TEST(BocdFixtureTest, AggressivePruningKeepsShiftDecisions) {
+  // Even a far harsher floor than the default (1e-3 at cap 8) leaves the
+  // shift decisions untouched — the margin behind the retuned defaults.
+  BocdConfig cfg;
+  cfg.max_components = 8;
+  cfg.prune_mass = 1e-3;
+  EXPECT_EQ(detect_changepoints(shifting_series(), cfg), kShiftChangepoints);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 // flat) and no SoA->AoS materialization
 // (`llmprism_flow_materializations_total` stays flat).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
 #include <cstdint>
@@ -72,8 +73,12 @@ const Fixture& fixture() {
   static const Fixture f = [] {
     Fixture out{run_cluster_sim(noisy_mix()), {}, {}};
     out.sim.trace.sort();  // the LFT file is written born-sorted
+    // Per-process file name: ctest runs each parametrized case as its own
+    // process, and concurrent processes must not rewrite each other's file
+    // mid-mmap.
     out.lft_path = (std::filesystem::temp_directory_path() /
-                    "llmprism_columnar_equivalence.lft")
+                    ("llmprism_columnar_equivalence_" +
+                     std::to_string(::getpid()) + ".lft"))
                        .string();
     write_lft_file(out.lft_path, out.sim.trace);
     PrismConfig cfg;

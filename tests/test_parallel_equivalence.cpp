@@ -78,6 +78,28 @@ ClusterSimConfig three_job_mix() {
   return cfg;
 }
 
+// One job occupying the whole cluster. With a single job, the per-job
+// fan-out degenerates to one task, so any thread-count dependence here can
+// only come from the INTRA-job parallelism (per-pair comm classification
+// and per-GPU timeline assembly sharing the pool) — the scenario the
+// per-job mixes above cannot isolate.
+ClusterSimConfig huge_job_mix() {
+  ClusterSimConfig cfg;
+  cfg.topology = {.num_machines = 16, .gpus_per_machine = 8,
+                  .machines_per_leaf = 4, .num_spines = 2};
+  auto j = job(8, 8, 2, 12);
+  j.stragglers.push_back(
+      {.rank = 5, .step_begin = 6, .step_end = 7, .slowdown = 2.5});
+  j.slow_dp_groups.push_back({.tp_idx = 2, .pp_idx = 1, .step_begin = 4,
+                              .step_end = 5, .slowdown = 3.0});
+  cfg.jobs.push_back({j, {}});
+  cfg.noise = collection_noise();
+  cfg.switch_faults.push_back(
+      {SwitchId(1), TimeWindow{0, 600 * kSecond}, 0.3});
+  cfg.seed = 14;
+  return cfg;
+}
+
 ClusterSimConfig eight_job_mix() {
   ClusterSimConfig cfg;
   cfg.topology = {.num_machines = 16, .gpus_per_machine = 8,
@@ -360,6 +382,10 @@ const MixData& eight_jobs() {
   static const MixData mix = make_mix(eight_job_mix());
   return mix;
 }
+const MixData& huge_job() {
+  static const MixData mix = make_mix(huge_job_mix());
+  return mix;
+}
 
 class ParallelEquivalenceTest
     : public ::testing::TestWithParam<std::size_t> {};
@@ -380,6 +406,27 @@ TEST_P(ParallelEquivalenceTest, EightJobMix) {
   const MixData& mix = eight_jobs();
   const Prism prism(mix.sim.topology, prism_config(GetParam()));
   expect_reports_equal(mix.baseline, prism.analyze(mix.sim.trace));
+}
+
+TEST_P(ParallelEquivalenceTest, HugeSingleJobMix) {
+  const MixData& mix = huge_job();
+  const Prism prism(mix.sim.topology, prism_config(GetParam()));
+  expect_reports_equal(mix.baseline, prism.analyze(mix.sim.trace));
+}
+
+// Guard against the single-job differential passing vacuously: the mix
+// must really be one job, large enough that the intra-job fan-out has many
+// pairs and GPUs to chew on, and it must produce findings.
+TEST(ParallelEquivalenceCoverageTest, HugeJobIsOneJobWithFindings) {
+  const MixData& mix = huge_job();
+  ASSERT_EQ(mix.baseline.jobs.size(), 1u);
+  const JobAnalysis& j = mix.baseline.jobs.front();
+  EXPECT_GE(j.comm_types.pairs.size(), 100u)
+      << "the per-pair fan-out needs real width";
+  EXPECT_GE(j.timelines.size(), 100u)
+      << "the per-GPU fan-out needs real width";
+  EXPECT_GT(j.step_alerts.size() + j.group_alerts.size(), 0u);
+  EXPECT_GT(mix.baseline.telemetry.bocd_observations, 0u);
 }
 
 // The eight-job mix actually produces the alerts whose ordering the
@@ -495,6 +542,31 @@ std::string render_exports(const std::vector<MonitorTick>& ticks) {
 // byte-identical whichever thread count produced the ticks.
 TEST_P(ParallelEquivalenceTest, ExportsAreByteIdenticalAcrossThreads) {
   const MixData& mix = three_jobs();
+
+  MonitorConfig seq_cfg;
+  seq_cfg.window = 2 * kSecond;
+  seq_cfg.prism.num_threads = 1;
+  MonitorConfig par_cfg = seq_cfg;
+  par_cfg.prism.num_threads = GetParam();
+
+  OnlineMonitor sequential(mix.sim.topology, seq_cfg);
+  OnlineMonitor parallel(mix.sim.topology, par_cfg);
+  auto expected = sequential.ingest(mix.sim.trace);
+  if (const auto last = sequential.flush()) expected.push_back(*last);
+  auto got = parallel.ingest(mix.sim.trace);
+  if (const auto last = parallel.flush()) got.push_back(*last);
+
+  const std::string baseline = render_exports(expected);
+  EXPECT_GT(baseline.size(), 1000u) << "exports must not be vacuously empty";
+  EXPECT_EQ(render_exports(got), baseline);
+}
+
+// The rendered exports of the huge single job must also be byte-identical
+// across thread counts — the end-to-end form of the intra-job determinism
+// argument (pre-sized per-pair and per-GPU slots, counters folded in id
+// order).
+TEST_P(ParallelEquivalenceTest, HugeSingleJobExportsAreByteIdentical) {
+  const MixData& mix = huge_job();
 
   MonitorConfig seq_cfg;
   seq_cfg.window = 2 * kSecond;
